@@ -1,0 +1,540 @@
+// Package propeller_test holds the benchmark harness that regenerates
+// every table and figure of the paper's evaluation (§5). One full
+// evaluation sweep over the scaled workload catalog is computed once and
+// shared by all benchmarks in the run; each benchmark then prints its
+// table/figure to stdout and reports headline metrics.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single artifact with e.g.:
+//
+//	go test -bench=BenchmarkTable3 -benchtime=1x
+package propeller_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"propeller/internal/buildsys"
+	"propeller/internal/codegen"
+	"propeller/internal/core"
+	"propeller/internal/eval"
+	"propeller/internal/exttsp"
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+	"propeller/internal/linker"
+	"propeller/internal/memmodel"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+	"propeller/internal/workload"
+)
+
+var (
+	sweepOnce sync.Once
+	sweepRes  map[string]*eval.Result
+	sweepErr  error
+)
+
+// sweep runs the full evaluation once per `go test` process.
+func sweep(b *testing.B) map[string]*eval.Result {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweepRes = map[string]*eval.Result{}
+		for _, spec := range workload.Catalog() {
+			cfg := eval.Config{
+				Spec:    spec,
+				RunBolt: true,
+				// Open-source and SPEC rows are built on the 72-core
+				// workstation (§5, Methodology); WSC rows on the fleet.
+				Workstation: !spec.Integrity && spec.Name != "search",
+			}
+			res, err := eval.RunWorkload(cfg)
+			if err != nil {
+				sweepErr = fmt.Errorf("%s: %w", spec.Name, err)
+				return
+			}
+			sweepRes[spec.Name] = res
+		}
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweepRes
+}
+
+func ordered(results map[string]*eval.Result, names []string) []*eval.Result {
+	var out []*eval.Result
+	for _, n := range names {
+		if r, ok := results[n]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func wscNames() []string { return []string{"spanner", "search", "superroot", "bigtable"} }
+func ossNames() []string { return []string{"clang", "mysql"} }
+func specNames() []string {
+	var out []string
+	for _, s := range workload.SPECInt() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func allNames() []string {
+	return append(append(ossNames(), wscNames()...), specNames()...)
+}
+
+// BenchmarkTable2 regenerates the benchmark characteristics table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := &eval.Report{Results: ordered(sweep(b), allNames())}
+		rep.Table2(os.Stdout)
+	}
+}
+
+// BenchmarkFig4 regenerates the Phase-3 peak-memory comparison.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		rep := &eval.Report{Results: ordered(results, allNames())}
+		rep.Fig4(os.Stdout)
+		// Headline: BOLT conversion memory over Propeller WPA memory on
+		// the largest workload.
+		if r := results["superroot"]; r != nil && r.WPAStats.ModeledBytes > 0 {
+			b.ReportMetric(float64(r.BoltConvertMem)/float64(r.WPAStats.ModeledBytes), "boltMemX")
+			b.ReportMetric(memmodel.MB(r.WPAStats.ModeledBytes), "propWPA-MB")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the Phase-4 peak-memory comparison.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		rep := &eval.Report{Results: ordered(results, allNames())}
+		rep.Fig5(os.Stdout)
+		if r := results["search"]; r != nil && r.BoltStats != nil {
+			b.ReportMetric(float64(r.BoltStats.PeakMemory)/float64(r.BaseLink.PeakMemory), "boltVsLinkX")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the binary-size breakdown.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		rep := &eval.Report{Results: ordered(results, allNames())}
+		rep.Fig6(os.Stdout)
+		if r := results["clang"]; r != nil {
+			b.ReportMetric(100*float64(r.PO.Stats().Total())/float64(r.Base.Stats().Total())-100, "POgrowth%")
+			b.ReportMetric(100*float64(r.BO.Stats().Total())/float64(r.Base.Stats().Total())-100, "BOgrowth%")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the performance-improvement table.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		rep := &eval.Report{Results: ordered(results, append(ossNames(), wscNames()...))}
+		rep.Table3(os.Stdout)
+		crashes := 0
+		for _, n := range wscNames() {
+			if r := results[n]; r != nil && r.BOCrash != nil {
+				crashes++
+			}
+		}
+		b.ReportMetric(float64(crashes), "boltWSCcrashes")
+		if r := results["clang"]; r != nil {
+			b.ReportMetric(eval.Speedup(r.BaseRun, r.PORun), "clangSpeedup%")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the instruction-access heat maps for clang.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunWorkload(eval.Config{
+			Spec:     workload.Clang(),
+			RunBolt:  true,
+			Heatmaps: true,
+			HeatRows: 56, HeatCols: 72,
+			Workstation: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := &eval.Report{Results: []*eval.Result{res}}
+		rep.Fig7(os.Stdout)
+		if f, err := os.Create("fig7_clang_base.csv"); err == nil {
+			res.BaseRun.Heat.WriteCSV(f)
+			f.Close()
+		}
+		if f, err := os.Create("fig7_clang_propeller.csv"); err == nil {
+			res.PORun.Heat.WriteCSV(f)
+			f.Close()
+		}
+		if res.BORun != nil && res.BORun.Heat != nil {
+			if f, err := os.Create("fig7_clang_bolt.csv"); err == nil {
+				res.BORun.Heat.WriteCSV(f)
+				f.Close()
+			}
+		}
+		b.ReportMetric(float64(res.BaseRun.Heat.HotSpan())/1024, "baseSpanKB")
+		b.ReportMetric(float64(res.PORun.Heat.HotSpan())/1024, "propSpanKB")
+	}
+}
+
+// BenchmarkFig8 regenerates the normalized performance-counter figure.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		rep := &eval.Report{Results: ordered(results, []string{"search", "clang"})}
+		rep.Fig8(os.Stdout)
+		if r := results["clang"]; r != nil {
+			b.ReportMetric(eval.CounterRatio(r.BaseRun, r.PORun, "T1"), "clangITLB%")
+			b.ReportMetric(eval.CounterRatio(r.BaseRun, r.PORun, "I1"), "clangL1I%")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the build-phase time table.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := &eval.Report{Results: ordered(sweep(b), wscNames())}
+		rep.Table5(os.Stdout)
+	}
+}
+
+// BenchmarkFig9 regenerates the optimization-runtime comparison.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		rep := &eval.Report{Results: ordered(results, allNames())}
+		rep.Fig9(os.Stdout)
+		// Headline: Propeller relink vs baseline on WSC (cold reuse).
+		if r := results["search"]; r != nil {
+			prop := r.Propeller.Optimized.Exec.Makespan + r.Propeller.Optimized.Linking
+			base := r.Propeller.Metadata.Exec.Makespan + r.Propeller.Metadata.Linking
+			b.ReportMetric(100*prop/base, "relinkVsBuild%")
+		}
+	}
+}
+
+// BenchmarkSPEC regenerates the §5.4 SPEC2017 results.
+func BenchmarkSPEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		rep := &eval.Report{Results: ordered(results, specNames())}
+		rep.SPECTable(os.Stdout)
+		// Headline: average taken-branch reduction across SPEC.
+		var sum float64
+		var n int
+		for _, name := range specNames() {
+			if r := results[name]; r != nil {
+				sum += eval.CounterRatio(r.BaseRun, r.PORun, "B2")
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n)-100, "avgB2delta%")
+		}
+	}
+}
+
+// BenchmarkFuncSplit reproduces the §4.6 function-splitting comparison:
+// the call-based heuristic splitter versus basic-block-section splitting.
+func BenchmarkFuncSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := workload.Clang()
+		prog, err := workload.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		train := core.RunSpec{MaxInsts: 400_000_000, LBRPeriod: 211}
+		optimized, _, err := core.PreparePGO(prog.Core, train, core.Options{}, core.PGOOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := &core.Program{Name: spec.Name, Modules: optimized, Entry: "main"}
+
+		run := func(opts core.Options, label string) *sim.Result {
+			build, err := core.BuildBaseline(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mach, err := sim.Load(build.Binary)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := mach.Run(sim.Config{MaxInsts: 600_000_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("§4.6 %-22s cycles=%d I1=%d T1=%d text=%dKB\n",
+				label, res.Cycles, res.Counters.L1IMiss, res.Counters.ITLBMiss,
+				build.Binary.Stats().Text/1024)
+			return res
+		}
+		base := run(core.Options{}, "no splitting")
+		heur := run(core.Options{HeuristicSplit: true}, "call-based splitting")
+
+		prop, err := core.Optimize(p, train, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mach, err := sim.Load(prop.Optimized.Binary)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bbres, err := mach.Run(sim.Config{MaxInsts: 600_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("§4.6 %-22s cycles=%d I1=%d T1=%d text=%dKB\n",
+			"bb-section splitting", bbres.Cycles, bbres.Counters.L1IMiss, bbres.Counters.ITLBMiss,
+			prop.Optimized.Binary.Stats().Text/1024)
+
+		heurGain := 1 - float64(heur.Cycles)/float64(base.Cycles)
+		bbGain := 1 - float64(bbres.Cycles)/float64(base.Cycles)
+		b.ReportMetric(100*heurGain, "heuristicGain%")
+		b.ReportMetric(100*bbGain, "bbSectionGain%")
+		if heurGain > 0 {
+			b.ReportMetric(bbGain/heurGain, "bbVsHeuristicX")
+		}
+	}
+}
+
+// BenchmarkInterProc reproduces the §4.7 inter-procedural layout study:
+// performance delta over intra-function layout and the WPA time ratio.
+func BenchmarkInterProc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := workload.Clang()
+		for _, inter := range []bool{false, true} {
+			cfg := eval.Config{Spec: spec, InterProc: inter, Workstation: true}
+			res, err := eval.RunWorkload(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := "intra"
+			if inter {
+				label = "inter"
+			}
+			fmt.Printf("§4.7 %-6s speedup=%+.2f%% I1=%.1f%% T1=%.1f%% layout=%v\n",
+				label, eval.Speedup(res.BaseRun, res.PORun),
+				eval.CounterRatio(res.BaseRun, res.PORun, "I1"),
+				eval.CounterRatio(res.BaseRun, res.PORun, "T1"),
+				res.Propeller.WPAStats.LayoutWall)
+			if inter {
+				b.ReportMetric(eval.Speedup(res.BaseRun, res.PORun), "interSpeedup%")
+				b.ReportMetric(float64(res.Propeller.WPAStats.LayoutWall.Microseconds()), "layout-us")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationClusters reproduces the §4.1 argument for clustered
+// basic block sections over one-section-per-block.
+func BenchmarkAblationClusters(b *testing.B) {
+	prog, err := workload.Generate(workload.MySQL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		var listBytes, allBytes, listSecs, allSecs int64
+		for _, m := range prog.Core.Modules {
+			objList, err := codegen.Compile(m, codegen.Options{Mode: codegen.ModeLabels})
+			if err != nil {
+				b.Fatal(err)
+			}
+			objAll, err := codegen.Compile(m, codegen.Options{Mode: codegen.ModeAll})
+			if err != nil {
+				b.Fatal(err)
+			}
+			listBytes += objList.Stats().Total()
+			allBytes += objAll.Stats().Total()
+			listSecs += int64(len(objList.Sections))
+			allSecs += int64(len(objAll.Sections))
+		}
+		fmt.Printf("§4.1 clustered sections: %d sections, %.1fMB objects; per-block sections: %d sections, %.1fMB objects (%.2fx)\n",
+			listSecs, memmodel.MB(listBytes), allSecs, memmodel.MB(allBytes),
+			float64(allBytes)/float64(listBytes))
+		b.ReportMetric(float64(allBytes)/float64(listBytes), "objBloatX")
+	}
+}
+
+// BenchmarkAblationRelax reproduces the §4.2 linker relaxation effect.
+func BenchmarkAblationRelax(b *testing.B) {
+	prog, err := workload.Generate(workload.MySQL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var objs []*objfile.Object
+	for _, m := range prog.Core.Modules {
+		obj, err := codegen.Compile(m, codegen.Options{Mode: codegen.ModeAll})
+		if err != nil {
+			b.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	for i := 0; i < b.N; i++ {
+		binRelax, stRelax, err := linker.Link(objs, linker.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		binNo, _, err := linker.Link(objs, linker.Config{NoRelax: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("§4.2 relaxation: deleted %d fall-through jumps, shrunk %d branches, saved %dKB (text %dKB -> %dKB)\n",
+			stRelax.JumpsDeleted, stRelax.BranchesShrunk, stRelax.BytesSaved/1024,
+			int64(len(binNo.Text))/1024, int64(len(binRelax.Text))/1024)
+		b.ReportMetric(float64(stRelax.BytesSaved), "bytesSaved")
+	}
+}
+
+// BenchmarkAblationExtTSP compares the naive quadratic merge retrieval
+// against the heap-based logarithmic retrieval (§4.7).
+func BenchmarkAblationExtTSP(b *testing.B) {
+	// A large flat CFG stresses merge retrieval.
+	g := &exttsp.Graph{}
+	const n = 1200
+	for i := 0; i < n; i++ {
+		g.Nodes = append(g.Nodes, exttsp.Node{Size: 16 + int64(i%48), Count: uint64(1 + i%97)})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, exttsp.Edge{Src: i, Dst: i + 1, Weight: uint64(1 + (i*7)%100)})
+		if i%3 == 0 {
+			g.Edges = append(g.Edges, exttsp.Edge{Src: i, Dst: (i + 17) % n, Weight: uint64(1 + i%13)})
+		}
+	}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exttsp.Layout(g, exttsp.Options{ForcedFirst: 0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exttsp.Layout(g, exttsp.Options{ForcedFirst: 0, UseHeap: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationColdCache reproduces the §3.4 cold-object reuse claim:
+// Phase-4 relinks rebuild only hot objects.
+func BenchmarkAblationColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := sweep(b)
+		for _, name := range wscNames() {
+			r := results[name]
+			if r == nil {
+				continue
+			}
+			p := r.Propeller
+			fmt.Printf("§3.4 %-10s rebuilt %d of %d objects (%.0f%% cold reused); relink backends %.1fs vs full %.1fs\n",
+				name, p.HotModules, p.HotModules+p.ColdModules,
+				100*(1-p.HotFraction), p.Optimized.Backends, p.Metadata.Backends)
+		}
+		if r := results["search"]; r != nil {
+			b.ReportMetric(100*r.Propeller.HotFraction, "hotObj%")
+		}
+	}
+}
+
+// BenchmarkPrefetch exercises the §3.5 extension: profile-guided software
+// prefetch insertion on a streaming kernel.
+func BenchmarkPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		train := core.RunSpec{MaxInsts: 40_000_000, LBRPeriod: 211}
+		run := func(opts core.Options) *sim.Result {
+			res, err := core.Optimize(streamProgram(), train, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mach, err := sim.Load(res.Optimized.Binary)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := mach.Run(sim.Config{MaxInsts: 40_000_000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return out
+		}
+		base := run(core.Options{})
+		pf := run(core.Options{SoftwarePrefetch: true})
+		if base.Exit != pf.Exit {
+			b.Fatal("prefetch changed semantics")
+		}
+		fmt.Printf("§3.5 prefetch: L1d misses %d -> %d, cycles %d -> %d (%+.2f%%)\n",
+			base.Counters.L1DMiss, pf.Counters.L1DMiss, base.Cycles, pf.Cycles,
+			100*(1-float64(pf.Cycles)/float64(base.Cycles)))
+		b.ReportMetric(100*(1-float64(pf.Counters.L1DMiss)/float64(base.Counters.L1DMiss)), "missReduction%")
+	}
+}
+
+// streamProgram is the §3.5 victim: a loop streaming a 1MB array.
+func streamProgram() *core.Program {
+	m := ir.NewModule("stream")
+	const arrayBytes = 1 << 20
+	m.AddGlobal(&ir.Global{Name: "arr", Size: arrayBytes})
+	f := m.NewFunc("main", 0)
+	entry := f.Entry()
+	outer := f.NewBlock()
+	loop := f.NewBlock()
+	check := f.NewBlock()
+	done := f.NewBlock()
+	entry.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 0})
+	entry.Emit(ir.Inst{Op: isa.OpMovI, A: 2, Imm: 0})
+	entry.Jump(outer)
+	outer.Emit(ir.Inst{Op: isa.OpMovI64, A: 3, Sym: "arr"})
+	outer.Emit(ir.Inst{Op: isa.OpMovI64, A: 4, Sym: "arr", Imm: arrayBytes})
+	outer.Jump(loop)
+	loop.Emit(ir.Inst{Op: isa.OpLoad, A: 3, B: 5, Imm: 0})
+	loop.Emit(ir.Inst{Op: isa.OpAdd, A: 0, B: 5})
+	loop.Emit(ir.Inst{Op: isa.OpAddI, A: 3, Imm: 64})
+	loop.Emit(ir.Inst{Op: isa.OpCmp, A: 3, B: 4})
+	loop.Branch(isa.CondLT, loop, check)
+	check.Emit(ir.Inst{Op: isa.OpAddI, A: 2, Imm: 1})
+	check.Emit(ir.Inst{Op: isa.OpCmpI, A: 2, Imm: 6})
+	check.Branch(isa.CondLT, outer, done)
+	done.Halt()
+	return &core.Program{Name: "stream", Modules: []*ir.Module{m}}
+}
+
+// BenchmarkSimulator measures raw simulator throughput (context for all
+// other numbers).
+func BenchmarkSimulator(b *testing.B) {
+	prog, err := workload.Generate(workload.Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	build, err := core.BuildBaseline(prog.Core, core.Options{Executor: buildsys.Workstation()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := sim.Load(build.Binary)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := mach.Run(sim.Config{MaxInsts: 50_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}

@@ -1,0 +1,79 @@
+// wsc-bolt is the llvm-bolt analog: a monolithic, disassembly-driven
+// post-link optimizer. It requires a binary linked with -emit-relocs.
+//
+// Usage:
+//
+//	wsc-bolt -profile prof.lbr -o app.bolt.wb app.bm.wb
+//	wsc-bolt -lite ...       # Lightning BOLT selective processing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"propeller/internal/bolt"
+	"propeller/internal/memmodel"
+	"propeller/internal/objfile"
+	"propeller/internal/profile"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "a.bolt.wb", "output binary")
+		profPath = flag.String("profile", "", "LBR profile")
+		lite     = flag.Bool("lite", true, "process only profiled functions")
+		noSplit  = flag.Bool("no-split-functions", false, "disable cold splitting")
+		noOrder  = flag.Bool("no-reorder-functions", false, "disable hfsort")
+		noHuge   = flag.Bool("no-align-text", false, "skip 2M alignment of new text")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *profPath == "" {
+		fatalf("usage: wsc-bolt -profile prof.lbr [flags] app.bm.wb")
+	}
+	binData, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bin, err := objfile.DecodeBinary(binData)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pf, err := os.Open(*profPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prof, err := profile.Read(pf)
+	pf.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	convMem, err := bolt.ConvertProfile(bin, prof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := bolt.Options{
+		Lite:             *lite,
+		SplitFunctions:   !*noSplit,
+		ReorderFunctions: !*noOrder,
+		NoHugePageAlign:  *noHuge,
+	}
+	opt, stats, err := bolt.Optimize(bin, prof, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, objfile.EncodeBinary(opt), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wsc-bolt: %d funcs (%d simple, %d non-simple), moved %d; %d insts disassembled, %d jump tables\n",
+		stats.FuncsTotal, stats.FuncsSimple, stats.FuncsNonSimple, stats.FuncsMoved,
+		stats.InstsDecoded, stats.JumpTables)
+	fmt.Printf("wsc-bolt: profile conversion peak %.1fMB, optimization peak %.1fMB; modeled time %.2fs (serial %.2fs) -> %s\n",
+		memmodel.MB(convMem), memmodel.MB(stats.PeakMemory), stats.TotalCost(72), stats.SerialCost, *out)
+	fmt.Println("wsc-bolt: note: binaries with link-time integrity digests will fail their startup self-check after rewriting (§5.8)")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsc-bolt: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// wsc-cc is the compiler backend driver: it lowers a serialized IR module
+// to a WOF relocatable object, standing in for the distributed codegen
+// actions of Phases 2 and 4.
+//
+// Usage:
+//
+//	wsc-cc -o m.o m.ir                          # plain function sections
+//	wsc-cc -o m.o m.mc                          # MiniC source input
+//	wsc-cc -basic-block-sections=labels ...     # + BB address map (Phase 2)
+//	wsc-cc -basic-block-sections=list=cc_prof.txt ...  # clusters (Phase 4)
+//	wsc-cc -basic-block-sections=all ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"propeller/internal/codegen"
+	"propeller/internal/ir"
+	"propeller/internal/lang"
+	"propeller/internal/layoutfile"
+	"propeller/internal/objfile"
+)
+
+func main() {
+	var (
+		out        = flag.String("o", "a.o", "output object file")
+		bbsections = flag.String("basic-block-sections", "none", "none | labels | all | list=<cc_prof.txt>")
+		split      = flag.Bool("split-machine-functions", false, "baseline call-based cold splitting (§4.6)")
+		dataInCode = flag.Bool("data-in-code", true, "embed jump tables in text")
+		dumpIR     = flag.Bool("dump-ir", false, "print the module IR and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: wsc-cc [flags] module.ir|module.mc")
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var m *ir.Module
+	if strings.HasSuffix(flag.Arg(0), ".mc") {
+		// MiniC source: run the front end first.
+		base := filepath.Base(flag.Arg(0))
+		m, err = lang.Compile(string(data), strings.TrimSuffix(base, ".mc"))
+	} else {
+		m, err = ir.DecodeModule(data)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dumpIR {
+		fmt.Print(m.String())
+		return
+	}
+	opts := codegen.Options{
+		HeuristicSplit: *split,
+		DataInCode:     *dataInCode,
+	}
+	switch {
+	case *bbsections == "none":
+		opts.Mode = codegen.ModeNone
+	case *bbsections == "labels":
+		opts.Mode = codegen.ModeLabels
+	case *bbsections == "all":
+		opts.Mode = codegen.ModeAll
+	case strings.HasPrefix(*bbsections, "list="):
+		opts.Mode = codegen.ModeList
+		f, err := os.Open(strings.TrimPrefix(*bbsections, "list="))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Directives, err = layoutfile.ParseDirectives(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("bad -basic-block-sections value %q", *bbsections)
+	}
+	obj, err := codegen.Compile(m, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, objfile.EncodeObject(obj), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	st := obj.Stats()
+	fmt.Printf("wsc-cc: %s: %d sections, %d symbols, text=%dB map=%dB eh=%dB -> %s\n",
+		m.Name, len(obj.Sections), len(obj.Symbols), st.Text, st.BBAddrMap, st.EHFrame, *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsc-cc: "+format+"\n", args...)
+	os.Exit(1)
+}

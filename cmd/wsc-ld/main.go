@@ -1,0 +1,83 @@
+// wsc-ld is the linker driver: it links WOF objects into an executable,
+// optionally following a symbol ordering file (Propeller's global layout)
+// and retaining metadata.
+//
+// Usage:
+//
+//	wsc-ld -o app.wb m1.o m2.o ...
+//	wsc-ld -symbol-ordering-file ld_prof.txt -emit-addr-map -o app.wb ...
+//	wsc-ld -emit-relocs -o app.bm.wb ...     # BOLT-ready build
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"propeller/internal/layoutfile"
+	"propeller/internal/linker"
+	"propeller/internal/memmodel"
+	"propeller/internal/objfile"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "a.wb", "output binary")
+		entry     = flag.String("entry", "main", "entry symbol")
+		orderFile = flag.String("symbol-ordering-file", "", "ld_prof.txt symbol order")
+		emitMap   = flag.Bool("emit-addr-map", false, "retain BB address maps")
+		emitRel   = flag.Bool("emit-relocs", false, "retain static relocations (BOLT input)")
+		noRelax   = flag.Bool("no-relax", false, "disable branch relaxation (§4.2)")
+		hugePages = flag.Bool("hugepages", false, "map text on 2M pages")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatalf("usage: wsc-ld [flags] obj1.o obj2.o ...")
+	}
+	var objs []*objfile.Object
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		obj, err := objfile.DecodeObject(data)
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		objs = append(objs, obj)
+	}
+	cfg := linker.Config{
+		Entry:        *entry,
+		EmitAddrMap:  *emitMap,
+		RetainRelocs: *emitRel,
+		NoRelax:      *noRelax,
+		HugePages:    *hugePages,
+	}
+	if *orderFile != "" {
+		f, err := os.Open(*orderFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		order, err := layoutfile.ParseOrder(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Order = &order
+	}
+	bin, stats, err := linker.Link(objs, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, objfile.EncodeBinary(bin), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wsc-ld: %d objects, %d text sections; relaxation deleted %d jumps, shrunk %d branches (%.1fKB saved); peak mem %.1fMB -> %s\n",
+		len(objs), stats.TextSections, stats.JumpsDeleted, stats.BranchesShrunk,
+		float64(stats.BytesSaved)/1024, memmodel.MB(stats.PeakMemory), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsc-ld: "+format+"\n", args...)
+	os.Exit(1)
+}

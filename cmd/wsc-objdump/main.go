@@ -1,0 +1,143 @@
+// wsc-objdump inspects WOF objects and linked binaries: sections, symbols,
+// BB address maps, retained relocations, and a disassembly listing. Being
+// a linear disassembler, it cheerfully prints garbage for data embedded in
+// text — a live demonstration of why Propeller refuses to depend on
+// disassembly (§1.1).
+//
+// Usage:
+//
+//	wsc-objdump app.wb            # headers + symbols
+//	wsc-objdump -d app.wb         # disassemble text
+//	wsc-objdump -d -sym main app.wb
+//	wsc-objdump -bb-addr-map app.wb
+//	wsc-objdump m.o               # relocatable objects too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/isa"
+	"propeller/internal/objfile"
+)
+
+func main() {
+	var (
+		dis     = flag.Bool("d", false, "disassemble text sections")
+		onlySym = flag.String("sym", "", "restrict disassembly to one symbol")
+		showMap = flag.Bool("bb-addr-map", false, "decode the BB address map")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: wsc-objdump [flags] file.wb|file.o")
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if bin, err := objfile.DecodeBinary(data); err == nil {
+		dumpBinary(bin, *dis, *onlySym, *showMap)
+		return
+	}
+	obj, err := objfile.DecodeObject(data)
+	if err != nil {
+		fatalf("not a binary or object: %v", err)
+	}
+	dumpObject(obj, *dis)
+}
+
+func dumpBinary(bin *objfile.Binary, dis bool, onlySym string, showMap bool) {
+	fmt.Printf("binary: entry=%#x text=[%#x,%#x) rodata=%#x+%d data=%#x+%d bss=%d hugepages=%v relocs=%d\n",
+		bin.Entry, bin.TextBase, bin.TextEnd(), bin.RodataBase, len(bin.Rodata),
+		bin.DataBase, len(bin.Data), bin.BSSSize, bin.HugePages, len(bin.Relas))
+	st := bin.Stats()
+	fmt.Printf("sizes: text=%d eh_frame=%d bb_addr_map=%d rela=%d other=%d total=%d\n",
+		st.Text, st.EHFrame, st.BBAddrMap, st.Relocs, st.Other, st.Total())
+
+	if showMap {
+		if bin.BBAddrMap == nil {
+			fatalf("no BB address map (built without -basic-block-sections=labels?)")
+		}
+		m, err := bbaddrmap.Decode(bin.BBAddrMap)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, f := range m.Funcs {
+			fmt.Printf("func %s @ %#x\n", f.Name, f.Addr)
+			for _, b := range f.Blocks {
+				fmt.Printf("  bb%-4d off=%-6d size=%-5d flags=%#x\n", b.ID, b.Offset, b.Size, b.Flags)
+			}
+		}
+		return
+	}
+
+	fmt.Println("\nsymbols:")
+	for _, s := range bin.FuncSyms() {
+		if onlySym != "" && s.Name != onlySym {
+			continue
+		}
+		fmt.Printf("  %#010x %6d %-8s %s\n", s.Addr, s.Size, s.Kind, s.Name)
+	}
+	if !dis {
+		return
+	}
+	fmt.Println("\ndisassembly:")
+	for _, s := range bin.FuncSyms() {
+		if onlySym != "" && s.Name != onlySym {
+			continue
+		}
+		fmt.Printf("\n%s:\n", s.Name)
+		disasmRange(bin.Text, bin.TextBase, s.Addr, s.Addr+uint64(s.Size))
+	}
+}
+
+func disasmRange(text []byte, base, start, end uint64) {
+	addr := start
+	for addr < end {
+		in, size, err := isa.Decode(text, int(addr-base))
+		if err != nil {
+			fmt.Printf("  %#010x  ???  (%v)\n", addr, err)
+			addr++ // resynchronize byte by byte, like any linear sweep
+			continue
+		}
+		target := ""
+		if in.Op.IsBranch() && in.Op != isa.OpJmpR || in.Op == isa.OpCall {
+			target = fmt.Sprintf("   -> %#x", uint64(int64(addr)+int64(size)+in.Imm))
+		}
+		fmt.Printf("  %#010x  %-28s%s\n", addr, in.String(), target)
+		addr += uint64(size)
+	}
+}
+
+func dumpObject(o *objfile.Object, dis bool) {
+	fmt.Printf("object: %s (%d sections, %d symbols)\n", o.Name, len(o.Sections), len(o.Symbols))
+	for _, s := range o.Sections {
+		fmt.Printf("  %-32s %-12s size=%-7d align=%-3d relocs=%d\n",
+			s.Name, s.Kind, s.Size, s.Align, len(s.Relocs))
+	}
+	fmt.Println("symbols:")
+	for _, s := range o.Symbols {
+		fmt.Printf("  %-32s %-9s sec=%-3d off=%-6d size=%d\n", s.Name, s.Kind, s.Section, s.Off, s.Size)
+	}
+	if !dis {
+		return
+	}
+	for si, s := range o.Sections {
+		if s.Kind != objfile.SecText {
+			continue
+		}
+		fmt.Printf("\n%s:\n", s.Name)
+		disasmRange(s.Data, 0, 0, uint64(len(s.Data)))
+		for _, r := range s.Relocs {
+			fmt.Printf("  reloc +%#x %-10s %s%+d relax=%v\n", r.Off, r.Type, r.Sym, r.Addend, r.Relax)
+		}
+		_ = si
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsc-objdump: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,186 @@
+// wsc-propeller is the end-to-end pipeline driver: it takes a workload (or
+// a directory of IR modules from wsc-gen), runs the PGO+ThinLTO baseline
+// build, then the four Propeller phases, and reports the improvement.
+//
+// Usage:
+//
+//	wsc-propeller -workload clang
+//	wsc-propeller -ir-dir out/ -entry main
+//	wsc-propeller -workload search -interproc -hugepages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"propeller/internal/core"
+	"propeller/internal/ir"
+	"propeller/internal/layoutfile"
+	"propeller/internal/memmodel"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+	"propeller/internal/workload"
+)
+
+func main() {
+	var (
+		wl         = flag.String("workload", "", "generate this Table-2 workload")
+		irDir      = flag.String("ir-dir", "", "read IR modules from this directory instead")
+		entry      = flag.String("entry", "main", "entry symbol")
+		interProc  = flag.Bool("interproc", false, "inter-procedural layout (§4.7)")
+		doPrefetch = flag.Bool("prefetch", false, "§3.5 software prefetch insertion")
+		hugePages  = flag.Bool("hugepages", false, "2M text pages")
+		outDir     = flag.String("o", "", "write artifacts (binaries, cc_prof.txt, ld_prof.txt) here")
+		trainMax   = flag.Uint64("train-insts", 400_000_000, "training run budget")
+		evalMax    = flag.Uint64("eval-insts", 800_000_000, "measurement run budget")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*wl, *irDir, *entry)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := core.Options{InterProc: *interProc, HugePages: *hugePages, SoftwarePrefetch: *doPrefetch}
+	train := core.RunSpec{MaxInsts: *trainMax, LBRPeriod: 211}
+
+	fmt.Printf("propeller: PGO+ThinLTO baseline over %d modules...\n", len(prog.Modules))
+	optimized, pgoStats, err := core.PreparePGO(prog, train, opts, core.PGOOptions{})
+	if err != nil {
+		fatalf("pgo: %v", err)
+	}
+	fmt.Printf("propeller: training ran %d insts; ThinLTO inlined %d calls (%d cross-module)\n",
+		pgoStats.TrainRun.Insts, pgoStats.Imports.CallsInlined, pgoStats.Imports.CrossModule)
+	p := &core.Program{Name: prog.Name, Modules: optimized, Entry: prog.Entry}
+
+	base, err := core.BuildBaseline(p, opts)
+	if err != nil {
+		fatalf("baseline: %v", err)
+	}
+	baseRes := run(base.Binary, *evalMax)
+
+	res, err := core.Optimize(p, train, opts)
+	if err != nil {
+		fatalf("optimize: %v", err)
+	}
+	optRes := run(res.Optimized.Binary, *evalMax)
+
+	if optRes.Exit != baseRes.Exit {
+		fatalf("CHECKSUM MISMATCH: baseline %d vs optimized %d", baseRes.Exit, optRes.Exit)
+	}
+	fmt.Printf("\nphases: 2 (build+metadata): %.1fs, peak %.1fMB | 3 (profile+WPA): %.2fs, peak %.1fMB | 4 (relink): %.1fs, peak %.1fMB\n",
+		res.Phase2.Makespan, memmodel.MB(res.Phase2.PeakMem),
+		res.Phase3.Makespan, memmodel.MB(res.Phase3.PeakMem),
+		res.Phase4.Makespan, memmodel.MB(res.Phase4.PeakMem))
+	fmt.Printf("objects: %d hot rebuilt, %d cold reused from cache (%.0f%%)\n",
+		res.HotModules, res.ColdModules, 100*(1-res.HotFraction))
+	fmt.Printf("baseline : cycles=%d ipc=%.3f taken=%d l1i=%d itlb=%d\n",
+		baseRes.Cycles, baseRes.IPC(), baseRes.Counters.TakenBranch, baseRes.Counters.L1IMiss, baseRes.Counters.ITLBMiss)
+	fmt.Printf("propeller: cycles=%d ipc=%.3f taken=%d l1i=%d itlb=%d\n",
+		optRes.Cycles, optRes.IPC(), optRes.Counters.TakenBranch, optRes.Counters.L1IMiss, optRes.Counters.ITLBMiss)
+	fmt.Printf("improvement: %+.2f%%\n", 100*(1-float64(optRes.Cycles)/float64(baseRes.Cycles)))
+
+	if *outDir != "" {
+		if err := writeArtifacts(*outDir, res); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("artifacts written to %s\n", *outDir)
+	}
+}
+
+func loadProgram(wl, irDir, entry string) (*core.Program, error) {
+	if wl != "" {
+		specs := append(workload.Catalog(), workload.Tiny())
+		for i := range specs {
+			if specs[i].Name == wl {
+				prog, err := workload.Generate(specs[i])
+				if err != nil {
+					return nil, err
+				}
+				return prog.Core, nil
+			}
+		}
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+	if irDir == "" {
+		return nil, fmt.Errorf("need -workload or -ir-dir")
+	}
+	entries, err := os.ReadDir(irDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ir") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	p := &core.Program{Name: filepath.Base(irDir), Entry: entry}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(irDir, name))
+		if err != nil {
+			return nil, err
+		}
+		m, err := ir.DecodeModule(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		p.Modules = append(p.Modules, m)
+	}
+	return p, nil
+}
+
+func run(bin *objfile.Binary, maxInsts uint64) *sim.Result {
+	mach, err := sim.Load(bin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: maxInsts})
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	return res
+}
+
+func writeArtifacts(dir string, res *core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pm.wb"), objfile.EncodeBinary(res.Metadata.Binary), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "propeller.wb"), objfile.EncodeBinary(res.Optimized.Binary), 0o644); err != nil {
+		return err
+	}
+	cc, err := os.Create(filepath.Join(dir, "cc_prof.txt"))
+	if err != nil {
+		return err
+	}
+	defer cc.Close()
+	if err := layoutfile.WriteDirectives(cc, res.Directives); err != nil {
+		return err
+	}
+	ld, err := os.Create(filepath.Join(dir, "ld_prof.txt"))
+	if err != nil {
+		return err
+	}
+	defer ld.Close()
+	if err := layoutfile.WriteOrder(ld, res.Order); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "prof.lbr"))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	return res.Profile.Write(pf)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsc-propeller: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// wsc-wpa is the standalone whole-program analyzer of Phase 3 (the
+// create_llvm_prof analog, §3.3): it maps LBR samples onto the metadata
+// binary's BB address map — no disassembly — and emits the two layout
+// artifacts for Phase 4.
+//
+// Usage:
+//
+//	wsc-wpa -binary pm.wb -profile prof.lbr -cc cc_prof.txt -ld ld_prof.txt
+//	wsc-wpa -interproc ...        # §4.7 inter-procedural layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/layoutfile"
+	"propeller/internal/memmodel"
+	"propeller/internal/objfile"
+	"propeller/internal/profile"
+	"propeller/internal/wpa"
+)
+
+func main() {
+	var (
+		binPath   = flag.String("binary", "", "metadata (PM) binary")
+		profPath  = flag.String("profile", "", "LBR profile from wsc-sim -record")
+		ccOut     = flag.String("cc", "cc_prof.txt", "cluster directives output")
+		ldOut     = flag.String("ld", "ld_prof.txt", "symbol ordering output")
+		interProc = flag.Bool("interproc", false, "inter-procedural layout (§4.7)")
+		naive     = flag.Bool("naive-exttsp", false, "quadratic merge retrieval (ablation)")
+		hot       = flag.Uint64("hot-threshold", 1, "minimum block samples to be hot")
+		noChunk   = flag.Bool("no-chunked-read", false, "materialize the whole profile instead of streaming it (§5.1)")
+	)
+	flag.Parse()
+	if *binPath == "" || *profPath == "" {
+		fatalf("usage: wsc-wpa -binary pm.wb -profile prof.lbr [-cc out] [-ld out]")
+	}
+	binData, err := os.ReadFile(*binPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bin, err := objfile.DecodeBinary(binData)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if bin.BBAddrMap == nil {
+		fatalf("%s carries no BB address map; build with -basic-block-sections=labels", *binPath)
+	}
+	m, err := bbaddrmap.Decode(bin.BBAddrMap)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pf, err := os.Open(*profPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := wpa.Config{
+		InterProc:    *interProc,
+		NaiveExtTSP:  *naive,
+		HotThreshold: *hot,
+	}
+	var res *wpa.Result
+	if *noChunk {
+		prof, err := profile.Read(pf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err = wpa.Analyze(m, prof, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		res, err = wpa.AnalyzeStream(m, pf, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	pf.Close()
+	cc, err := os.Create(*ccOut)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := layoutfile.WriteDirectives(cc, res.Directives); err != nil {
+		fatalf("%v", err)
+	}
+	cc.Close()
+	ld, err := os.Create(*ldOut)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := layoutfile.WriteOrder(ld, res.Order); err != nil {
+		fatalf("%v", err)
+	}
+	ld.Close()
+	st := res.Stats
+	fmt.Printf("wsc-wpa: %d samples (%d records) -> DCFG: %d funcs, %d nodes, %d edges; %d hot funcs; peak mem %.1fMB\n",
+		st.Samples, st.Records, st.DCFGFuncs, st.DCFGNodes, st.DCFGEdges, st.HotFuncs,
+		memmodel.MB(st.ModeledBytes))
+	fmt.Printf("wsc-wpa: wrote %s and %s\n", *ccOut, *ldOut)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsc-wpa: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Distributed build walkthrough: shows the caching and action-limit story
+// that motivates relinking (§2.1, §3.5 of the paper) —
+//
+//   - content-addressed IR and object caches shared across phases;
+//
+//   - Phase 4 rebuilding only hot objects and fetching everything else
+//     from the cache;
+//
+//   - the per-action 12GB ceiling that a monolithic rewrite cannot fit,
+//     while every Propeller action does.
+//
+//     go run ./examples/distbuild
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"propeller/internal/buildsys"
+	"propeller/internal/eval"
+	"propeller/internal/memmodel"
+	"propeller/internal/workload"
+)
+
+func main() {
+	spec := workload.Bigtable()
+	spec.Requests = 5000
+	fmt.Printf("workload: %s (%d functions, %.0f%% cold objects)\n\n", spec.Name, spec.NumFuncs, 100*spec.ColdObjFrac)
+
+	res, err := eval.RunWorkload(eval.Config{Spec: spec, RunBolt: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := res.Propeller
+
+	fmt.Println("— Phase economics —")
+	fmt.Printf("Phase 2 (full build + metadata): %4d actions, makespan %6.1fs, peak action %7.1fMB\n",
+		p.Phase2.Actions, p.Phase2.Makespan, memmodel.MB(p.Phase2.PeakMem))
+	fmt.Printf("Phase 3 (profile + WPA):         %4d action,  makespan %6.1fs, peak action %7.1fMB\n",
+		p.Phase3.Actions, p.Phase3.Makespan, memmodel.MB(p.Phase3.PeakMem))
+	fmt.Printf("Phase 4 (relink):                %4d actions, makespan %6.1fs, peak action %7.1fMB\n",
+		p.Phase4.Actions, p.Phase4.Makespan, memmodel.MB(p.Phase4.PeakMem))
+	fmt.Printf("\ncold-object reuse: %d of %d objects came straight from the cache (%.0f%%)\n",
+		p.ColdModules, p.HotModules+p.ColdModules, 100*(1-p.HotFraction))
+	fmt.Printf("relink backends cost %.1fs vs full-build backends %.1fs (%.0f%% saved)\n",
+		p.Optimized.Backends, p.Metadata.Backends,
+		100*(1-p.Optimized.Backends/p.Metadata.Backends))
+
+	fmt.Println("\n— The action ceiling —")
+	limit := int64(buildsys.DistributedMemLimit)
+	fmt.Printf("per-action RAM ceiling: %.0fGB\n", memmodel.GB(limit))
+	fmt.Printf("largest Propeller action: %.1fMB  -> fits\n", memmodel.MB(p.Phase4.PeakMem))
+	if res.BoltStats != nil {
+		boltMem := res.BoltStats.PeakMemory
+		verdict := "fits (this workload is scaled 1:100; at paper scale BOLT needed up to 73GB, Fig 4)"
+		if boltMem > limit {
+			verdict = "DOES NOT FIT"
+		}
+		fmt.Printf("monolithic BOLT rewrite:  %.1fMB -> %s\n", memmodel.MB(boltMem), verdict)
+	}
+
+	// Demonstrate the admission control directly: an action sized like
+	// BOLT on the paper's Superroot (36GB profile conversion, Fig 4).
+	exec := buildsys.Distributed()
+	_, err = exec.Execute([]*buildsys.Action{{
+		Name:     "llvm-bolt superroot (paper scale)",
+		Cost:     3600,
+		MemBytes: 36 << 30,
+		Run:      func() error { return nil },
+	}})
+	fmt.Printf("\nscheduling a paper-scale BOLT action on the fleet: %v\n", err)
+	if res.BOCrash != nil {
+		fmt.Printf("and even off-fleet, the rewritten binary: %v\n", res.BOCrash)
+	}
+	fmt.Printf("\nPropeller improvement on this workload: %+.2f%%\n", eval.Speedup(res.BaseRun, res.PORun))
+}

@@ -1,0 +1,374 @@
+// Package bbaddrmap implements the Basic Block Address Map, the profile
+// mapping metadata of the paper's Phase 2 (§3.2), mirroring LLVM's
+// SHT_LLVM_BB_ADDR_MAP section.
+//
+// For each function the map records, per machine basic block: the stable
+// block ID, the offset of the block from the function entry, its size, and
+// flags (fall-through successor present, landing pad, has return, has call).
+// Phase 3 uses it to map sampled virtual addresses back to machine basic
+// blocks without disassembling anything.
+package bbaddrmap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockFlags describe block characteristics stored alongside the offsets.
+type BlockFlags byte
+
+const (
+	// FlagFallThrough marks blocks whose layout successor is also a CFG
+	// successor reached without a taken branch.
+	FlagFallThrough BlockFlags = 1 << iota
+	// FlagLandingPad marks exception landing pads.
+	FlagLandingPad
+	// FlagReturn marks blocks ending in a return.
+	FlagReturn
+	// FlagCall marks blocks containing at least one call.
+	FlagCall
+)
+
+// BlockEntry describes one machine basic block within a function.
+type BlockEntry struct {
+	ID     int    // stable IR block ID
+	Offset uint64 // offset of the block from the function entry address
+	Size   uint64 // size of the block in bytes
+	Flags  BlockFlags
+}
+
+// FuncEntry is the address-map record for one function.
+type FuncEntry struct {
+	Name string
+	Addr uint64 // function entry address; section-relative in objects,
+	// absolute once linked
+	Blocks []BlockEntry
+}
+
+// Map is the decoded contents of a BB address map section.
+type Map struct {
+	Funcs []FuncEntry
+}
+
+// Encode serializes the map to the section byte format.
+func Encode(m *Map) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		out = binary.AppendUvarint(out, uint64(len(f.Name)))
+		out = append(out, f.Name...)
+		out = binary.AppendUvarint(out, f.Addr)
+		out = binary.AppendUvarint(out, uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			out = binary.AppendUvarint(out, uint64(b.ID))
+			out = binary.AppendUvarint(out, b.Offset)
+			out = binary.AppendUvarint(out, b.Size)
+			out = append(out, byte(b.Flags))
+		}
+	}
+	return out
+}
+
+// Decode parses a section previously produced by Encode.
+func Decode(data []byte) (*Map, error) {
+	m := &Map{}
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bbaddrmap: truncated at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	nFuncs, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nFuncs > 1<<26 {
+		return nil, fmt.Errorf("bbaddrmap: implausible function count %d", nFuncs)
+	}
+	for i := uint64(0); i < nFuncs; i++ {
+		var f FuncEntry
+		nameLen, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(nameLen) > len(data) {
+			return nil, fmt.Errorf("bbaddrmap: truncated name at offset %d", pos)
+		}
+		f.Name = string(data[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		if f.Addr, err = readUvarint(); err != nil {
+			return nil, err
+		}
+		nBlocks, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nBlocks > 1<<26 {
+			return nil, fmt.Errorf("bbaddrmap: implausible block count %d", nBlocks)
+		}
+		f.Blocks = make([]BlockEntry, 0, nBlocks)
+		for j := uint64(0); j < nBlocks; j++ {
+			var b BlockEntry
+			id, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			b.ID = int(id)
+			if b.Offset, err = readUvarint(); err != nil {
+				return nil, err
+			}
+			if b.Size, err = readUvarint(); err != nil {
+				return nil, err
+			}
+			if pos >= len(data) {
+				return nil, fmt.Errorf("bbaddrmap: truncated flags at offset %d", pos)
+			}
+			b.Flags = BlockFlags(data[pos])
+			pos++
+			f.Blocks = append(f.Blocks, b)
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("bbaddrmap: %d trailing bytes", len(data)-pos)
+	}
+	return m, nil
+}
+
+// Rebase returns a copy of the map with delta added to every function
+// address. The linker uses this when placing sections at final addresses.
+func (m *Map) Rebase(delta uint64) *Map {
+	out := &Map{Funcs: make([]FuncEntry, len(m.Funcs))}
+	for i, f := range m.Funcs {
+		nf := f
+		nf.Addr = f.Addr + delta
+		nf.Blocks = append([]BlockEntry(nil), f.Blocks...)
+		out.Funcs[i] = nf
+	}
+	return out
+}
+
+// Merge concatenates several maps into one.
+func Merge(maps ...*Map) *Map {
+	out := &Map{}
+	for _, m := range maps {
+		out.Funcs = append(out.Funcs, m.Funcs...)
+	}
+	return out
+}
+
+// Lookup is an address→block index built from a Map, used by Phase 3 to
+// resolve LBR sample addresses to (function, block ID) pairs.
+type Lookup struct {
+	funcs []lookupFunc // sorted by Start
+}
+
+type lookupFunc struct {
+	Start, End uint64
+	Entry      *FuncEntry
+	blocks     []lookupBlock // sorted by Start
+}
+
+type lookupBlock struct {
+	Start, End uint64
+	ID         int
+	Flags      BlockFlags
+}
+
+// NewLookup builds an address index over the map. Functions and blocks with
+// zero size are still indexed (as empty ranges that never match).
+func NewLookup(m *Map) *Lookup {
+	l := &Lookup{}
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		var end uint64 = f.Addr
+		lf := lookupFunc{Start: f.Addr, Entry: f}
+		for _, b := range f.Blocks {
+			start := f.Addr + b.Offset
+			bend := start + b.Size
+			if bend > end {
+				end = bend
+			}
+			lf.blocks = append(lf.blocks, lookupBlock{Start: start, End: bend, ID: b.ID, Flags: b.Flags})
+		}
+		lf.End = end
+		l.funcs = append(l.funcs, lf)
+	}
+	sortFuncs(l.funcs)
+	for i := range l.funcs {
+		sortBlocks(l.funcs[i].blocks)
+	}
+	return l
+}
+
+func sortFuncs(fs []lookupFunc) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].Start < fs[j-1].Start; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func sortBlocks(bs []lookupBlock) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Start < bs[j-1].Start; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// Resolve maps an address to the containing function name and block ID.
+// ok is false when the address is not covered by any recorded block.
+func (l *Lookup) Resolve(addr uint64) (fn string, blockID int, ok bool) {
+	// Binary search the function list for the last Start <= addr.
+	lo, hi := 0, len(l.funcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.funcs[mid].Start <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Blocks of one function can interleave with another function's range
+	// only if sections were split; scan backwards over candidates.
+	for i := lo - 1; i >= 0; i-- {
+		f := &l.funcs[i]
+		if addr >= f.End {
+			// Functions are sorted by start; earlier ones may still cover
+			// addr if this one is short, so keep scanning a little.
+			if i < lo-8 {
+				break
+			}
+			continue
+		}
+		for _, b := range f.blocks {
+			if addr >= b.Start && addr < b.End {
+				return f.Entry.Name, b.ID, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// ResolveFull is Resolve plus the block's address bounds.
+func (l *Lookup) ResolveFull(addr uint64) (ref BlockRef, start, end uint64, ok bool) {
+	lo, hi := 0, len(l.funcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.funcs[mid].Start <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo - 1; i >= 0 && i >= lo-8; i-- {
+		f := &l.funcs[i]
+		if addr >= f.End {
+			continue
+		}
+		for _, b := range f.blocks {
+			if addr >= b.Start && addr < b.End {
+				return BlockRef{Fn: f.Entry.Name, ID: b.ID}, b.Start, b.End, true
+			}
+		}
+	}
+	return BlockRef{}, 0, 0, false
+}
+
+// BlockRef identifies a block: owning function name and stable block ID.
+type BlockRef struct {
+	Fn string
+	ID int
+}
+
+// IsBlockStart reports whether addr is exactly the first byte of a block,
+// returning the block. Branch targets always land on block starts; return
+// addresses usually do not — Phase 3 uses this to tell intra-function
+// branch edges apart from returns.
+func (l *Lookup) IsBlockStart(addr uint64) (BlockRef, bool) {
+	lo, hi := 0, len(l.funcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.funcs[mid].Start <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo - 1; i >= 0 && i >= lo-8; i-- {
+		f := &l.funcs[i]
+		if addr >= f.End {
+			continue
+		}
+		for _, b := range f.blocks {
+			if b.Start == addr {
+				return BlockRef{Fn: f.Entry.Name, ID: b.ID}, true
+			}
+		}
+	}
+	return BlockRef{}, false
+}
+
+// BlocksInRange returns, in address order, every block whose start address
+// lies in [start, end]. Phase 3 walks the range between consecutive LBR
+// records with this to credit fall-through execution.
+func (l *Lookup) BlocksInRange(start, end uint64) []BlockRef {
+	if end < start {
+		return nil
+	}
+	// Fragments are sorted by start; find the first candidate and walk
+	// forward until fragments begin past the range end.
+	lo, hi := 0, len(l.funcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.funcs[mid].Start <= start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	first := lo - 1
+	if first < 0 {
+		first = 0
+	}
+	var out []BlockRef
+	for i := first; i < len(l.funcs); i++ {
+		f := &l.funcs[i]
+		if f.Start > end {
+			break
+		}
+		if f.End <= start {
+			continue
+		}
+		for _, b := range f.blocks {
+			if b.Start >= start && b.Start <= end {
+				out = append(out, BlockRef{Fn: f.Entry.Name, ID: b.ID})
+			}
+		}
+	}
+	return out
+}
+
+// FuncAt returns the function entry covering addr, if any.
+func (l *Lookup) FuncAt(addr uint64) (*FuncEntry, bool) {
+	lo, hi := 0, len(l.funcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.funcs[mid].Start <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo - 1; i >= 0 && i >= lo-8; i-- {
+		f := &l.funcs[i]
+		if addr < f.End {
+			return f.Entry, true
+		}
+	}
+	return nil, false
+}

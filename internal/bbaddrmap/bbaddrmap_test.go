@@ -1,0 +1,177 @@
+package bbaddrmap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Map {
+	return &Map{Funcs: []FuncEntry{
+		{
+			Name: "foo", Addr: 0x1000,
+			Blocks: []BlockEntry{
+				{ID: 0, Offset: 0, Size: 16, Flags: FlagCall},
+				{ID: 1, Offset: 16, Size: 8, Flags: FlagFallThrough},
+				{ID: 3, Offset: 24, Size: 12, Flags: FlagReturn},
+			},
+		},
+		{
+			Name: "foo", Addr: 0x4000, // cold fragment of foo
+			Blocks: []BlockEntry{
+				{ID: 2, Offset: 0, Size: 20, Flags: FlagLandingPad},
+			},
+		},
+		{
+			Name: "bar", Addr: 0x2000,
+			Blocks: []BlockEntry{
+				{ID: 0, Offset: 0, Size: 5, Flags: 0},
+			},
+		},
+	}}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sample()
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", m, got)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	data := Encode(sample())
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("decoded %d-byte truncation", cut)
+		}
+	}
+	if _, err := Decode(append(data, 0xFF)); err == nil {
+		t.Error("decoded input with trailing bytes")
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	m := &Map{}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Funcs) != 0 {
+		t.Errorf("got %d funcs, want 0", len(got.Funcs))
+	}
+}
+
+func TestResolve(t *testing.T) {
+	l := NewLookup(sample())
+	cases := []struct {
+		addr   uint64
+		fn     string
+		id     int
+		wantOK bool
+	}{
+		{0x1000, "foo", 0, true},
+		{0x100F, "foo", 0, true},
+		{0x1010, "foo", 1, true},
+		{0x1018, "foo", 3, true},
+		{0x1023, "foo", 3, true},
+		{0x1024, "", 0, false}, // one past the end of foo's hot fragment
+		{0x2000, "bar", 0, true},
+		{0x2004, "bar", 0, true},
+		{0x2005, "", 0, false},
+		{0x4000, "foo", 2, true}, // cold fragment resolves back to foo
+		{0x4013, "foo", 2, true},
+		{0x0FFF, "", 0, false},
+		{0x9999, "", 0, false},
+	}
+	for _, c := range cases {
+		fn, id, ok := l.Resolve(c.addr)
+		if ok != c.wantOK || fn != c.fn || (ok && id != c.id) {
+			t.Errorf("Resolve(%#x) = (%q, %d, %v), want (%q, %d, %v)",
+				c.addr, fn, id, ok, c.fn, c.id, c.wantOK)
+		}
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	l := NewLookup(sample())
+	f, ok := l.FuncAt(0x2003)
+	if !ok || f.Name != "bar" {
+		t.Errorf("FuncAt(0x2003) = %v, %v", f, ok)
+	}
+	if _, ok := l.FuncAt(0x3000); ok {
+		t.Error("FuncAt in a hole should fail")
+	}
+}
+
+func TestRebase(t *testing.T) {
+	m := sample()
+	r := m.Rebase(0x1000)
+	if r.Funcs[0].Addr != 0x2000 || r.Funcs[2].Addr != 0x3000 {
+		t.Error("Rebase did not shift addresses")
+	}
+	if m.Funcs[0].Addr != 0x1000 {
+		t.Error("Rebase mutated the original")
+	}
+	r.Funcs[0].Blocks[0].Size = 999
+	if m.Funcs[0].Blocks[0].Size == 999 {
+		t.Error("Rebase shares block slices with the original")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Map{Funcs: []FuncEntry{{Name: "a"}}}
+	b := &Map{Funcs: []FuncEntry{{Name: "b"}, {Name: "c"}}}
+	m := Merge(a, b)
+	if len(m.Funcs) != 3 || m.Funcs[2].Name != "c" {
+		t.Errorf("Merge produced %+v", m.Funcs)
+	}
+}
+
+// Property: every (addr in block) resolves to that block for random
+// non-overlapping layouts.
+func TestResolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Map{}
+		addr := uint64(0x1000)
+		type placed struct {
+			fn    string
+			id    int
+			start uint64
+			size  uint64
+		}
+		var all []placed
+		nFrag := 1 + rng.Intn(20)
+		for i := 0; i < nFrag; i++ {
+			fn := FuncEntry{Name: "f" + string(rune('a'+rng.Intn(26))), Addr: addr}
+			off := uint64(0)
+			nb := 1 + rng.Intn(6)
+			for j := 0; j < nb; j++ {
+				size := uint64(1 + rng.Intn(40))
+				fn.Blocks = append(fn.Blocks, BlockEntry{ID: j, Offset: off, Size: size})
+				all = append(all, placed{fn.Name, j, addr + off, size})
+				off += size
+			}
+			m.Funcs = append(m.Funcs, fn)
+			addr += off + uint64(rng.Intn(64)) // gap
+		}
+		l := NewLookup(m)
+		for _, p := range all {
+			for _, probe := range []uint64{p.start, p.start + p.size - 1, p.start + p.size/2} {
+				fn, id, ok := l.Resolve(probe)
+				if !ok || fn != p.fn || id != p.id {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

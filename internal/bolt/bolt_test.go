@@ -1,0 +1,255 @@
+package bolt
+
+import (
+	"strings"
+	"testing"
+
+	"propeller/internal/codegen"
+	"propeller/internal/ir"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/profile"
+	"propeller/internal/sim"
+	"propeller/internal/testprog"
+)
+
+// buildBM builds a BOLT-ready binary: relocations retained (the "BM"
+// configuration of §5.3).
+func buildBM(t *testing.T, mods []*ir.Module, co codegen.Options) *objfile.Binary {
+	t.Helper()
+	var objs []*objfile.Object
+	for _, m := range mods {
+		obj, err := codegen.Compile(m, co)
+		if err != nil {
+			t.Fatalf("compile %s: %v", m.Name, err)
+		}
+		objs = append(objs, obj)
+	}
+	bin, _, err := linker.Link(objs, linker.Config{RetainRelocs: true})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin *objfile.Binary, lbr uint64) (*sim.Result, error) {
+	t.Helper()
+	mach, err := sim.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach.Run(sim.Config{MaxInsts: 50_000_000, LBRPeriod: lbr})
+}
+
+func mustRun(t *testing.T, bin *objfile.Binary, lbr uint64) *sim.Result {
+	t.Helper()
+	res, err := run(t, bin, lbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBoltPreservesSemantics(t *testing.T) {
+	mods := []*ir.Module{testprog.HotCold(20000)}
+	bin := buildBM(t, mods, codegen.Options{})
+	base := mustRun(t, bin, 101)
+
+	opt, stats, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FuncsMoved == 0 {
+		t.Fatal("no functions moved")
+	}
+	res := mustRun(t, opt, 0)
+	if res.Exit != base.Exit {
+		t.Fatalf("BOLT changed semantics: %d vs %d", res.Exit, base.Exit)
+	}
+	// The cold block no longer sits mid-loop: fewer taken branches.
+	if res.Counters.TakenBranch > base.Counters.TakenBranch {
+		t.Errorf("BOLT layout takes more branches: %d vs %d",
+			res.Counters.TakenBranch, base.Counters.TakenBranch)
+	}
+	// New text segment exists; size grows (old text retained).
+	if opt.Stats().Text <= bin.Stats().Text {
+		t.Error("BOLTed binary text did not grow")
+	}
+	foundBoltSec := false
+	for _, s := range opt.Sections {
+		if s.Name == ".text.bolt" {
+			foundBoltSec = true
+		}
+	}
+	if !foundBoltSec {
+		t.Error("no .text.bolt section recorded")
+	}
+}
+
+func TestBoltCallsAndRecursion(t *testing.T) {
+	mods := []*ir.Module{testprog.Fib(15)}
+	bin := buildBM(t, mods, codegen.Options{})
+	base := mustRun(t, bin, 67)
+	opt, _, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, opt, 0)
+	if res.Exit != 610 {
+		t.Fatalf("fib(15) after BOLT = %d, want 610", res.Exit)
+	}
+}
+
+func TestBoltRewritesRodataJumpTables(t *testing.T) {
+	mods := []*ir.Module{testprog.Switch(64)}
+	bin := buildBM(t, mods, codegen.Options{}) // tables in rodata
+	base := mustRun(t, bin, 53)
+	opt, stats, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JumpTables == 0 {
+		t.Fatal("no jump tables recovered")
+	}
+	res := mustRun(t, opt, 0)
+	if res.Exit != base.Exit {
+		t.Fatalf("switch after BOLT = %d, want %d", res.Exit, base.Exit)
+	}
+}
+
+func TestBoltRecoversDataInCodeTables(t *testing.T) {
+	mods := []*ir.Module{testprog.Switch(64)}
+	bin := buildBM(t, mods, codegen.Options{DataInCode: true})
+	base := mustRun(t, bin, 53)
+	opt, stats, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.JumpTables == 0 {
+		t.Error("text-embedded jump table not recovered")
+	}
+	if stats.FuncsMoved == 0 {
+		t.Error("switch function not moved despite table recovery")
+	}
+	res := mustRun(t, opt, 0)
+	if res.Exit != base.Exit {
+		t.Fatalf("exit = %d, want %d", res.Exit, base.Exit)
+	}
+}
+
+func TestBoltExceptionsSurvive(t *testing.T) {
+	mods := []*ir.Module{testprog.Exceptions(30)}
+	bin := buildBM(t, mods, codegen.Options{})
+	base := mustRun(t, bin, 59)
+	opt, _, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, opt, 0)
+	if res.Exit != base.Exit {
+		t.Fatalf("exceptions after BOLT: exit = %d, want %d", res.Exit, base.Exit)
+	}
+	if len(opt.LSDA) <= len(bin.LSDA) {
+		t.Error("remapped LSDA records not appended")
+	}
+}
+
+// The §5.8 reproduction: a FIPS-style integrity self-check passes under
+// relinking but fails after binary rewriting.
+func TestBoltBreaksIntegrityCheck(t *testing.T) {
+	mods := []*ir.Module{testprog.Integrity(10)}
+	bin := buildBM(t, mods, codegen.Options{})
+	base := mustRun(t, bin, 31)
+	if base.Exit != 55 {
+		t.Fatalf("baseline integrity exit = %d, want 55", base.Exit)
+	}
+	opt, _, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, opt, 0)
+	if res.Exit != -99 {
+		t.Fatalf("BOLTed integrity-checked binary exited %d; expected the startup check to fail (-99)", res.Exit)
+	}
+}
+
+func TestBoltRequiresRelocations(t *testing.T) {
+	mods := []*ir.Module{testprog.SumLoop(10)}
+	var objs []*objfile.Object
+	for _, m := range mods {
+		obj, err := codegen.Compile(m, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	bin, _, err := linker.Link(objs, linker.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Optimize(bin, &profile.Profile{}, Heavy())
+	if err == nil || !strings.Contains(err.Error(), "relocation") {
+		t.Errorf("plain binary accepted: %v", err)
+	}
+}
+
+func TestLiteSkipsColdFunctions(t *testing.T) {
+	lib, app := testprog.CrossModule()
+	hot := testprog.HotCold(5000)
+	hot.Name = "hotmod"
+	app.Func("main").Name = "app_entry"
+	bin := buildBM(t, []*ir.Module{hot, lib, app}, codegen.Options{})
+	base := mustRun(t, bin, 101)
+
+	_, liteStats, err := Optimize(bin, base.Profile, Fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, heavyStats, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liteStats.FuncsMoved >= heavyStats.FuncsMoved {
+		t.Errorf("lite moved %d funcs, heavy %d; lite should be selective",
+			liteStats.FuncsMoved, heavyStats.FuncsMoved)
+	}
+}
+
+func TestConvertProfileMemoryScalesWithBinary(t *testing.T) {
+	small := buildBM(t, []*ir.Module{testprog.SumLoop(10)}, codegen.Options{})
+	big := buildBM(t, []*ir.Module{testprog.HotCold(10)}, codegen.Options{})
+	p := &profile.Profile{}
+	memSmall, err := ConvertProfile(small, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memBig, err := ConvertProfile(big, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memBig <= memSmall {
+		t.Errorf("conversion memory does not scale with binary size: %d vs %d", memBig, memSmall)
+	}
+}
+
+func TestHugePageAlignment(t *testing.T) {
+	mods := []*ir.Module{testprog.HotCold(5000)}
+	bin := buildBM(t, mods, codegen.Options{})
+	base := mustRun(t, bin, 101)
+	opt, _, err := Optimize(bin, base.Profile, Heavy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range opt.Sections {
+		if s.Name == ".text.bolt" && s.Addr%objfile.HugePageSize != 0 {
+			t.Errorf("new text at %#x not 2M aligned", s.Addr)
+		}
+	}
+	optNA, _, err := Optimize(bin, base.Profile, Options{Lite: false, NoHugePageAlign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(optNA.Text) >= len(opt.Text) {
+		t.Error("page-aligned variant not smaller than hugepage-aligned")
+	}
+}

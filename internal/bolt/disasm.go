@@ -1,0 +1,302 @@
+package bolt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"propeller/internal/isa"
+	"propeller/internal/objfile"
+)
+
+// dInst is one disassembled instruction.
+type dInst struct {
+	addr uint64
+	inst isa.Inst
+	size int
+}
+
+// dBlock is one reconstructed basic block.
+type dBlock struct {
+	start, end uint64
+	insts      []dInst
+
+	// Control flow out of the block, filled from the final instruction:
+	// branch target and/or fall-through, or jump-table targets.
+	takenTarget uint64 // 0 when none
+	fallTarget  uint64 // 0 when none
+	tableID     int    // index into fn.tables, or -1
+
+	count uint64 // profiled execution count
+}
+
+// jumpTable is a recovered indirect-jump dispatch table.
+type jumpTable struct {
+	movAddr   uint64 // address of the movi64 materializing the base
+	jmprAddr  uint64
+	tableAddr uint64
+	targets   []uint64 // block start addresses
+}
+
+// dFunc is a reconstructed function.
+type dFunc struct {
+	sym    objfile.FinalSym
+	simple bool
+	reason string // why the function is non-simple
+	blocks []*dBlock
+	byAddr map[uint64]*dBlock
+	tables []jumpTable
+
+	samples uint64 // total profiled count
+	moved   bool
+
+	// fallEdges are fall-through edge weights inferred from consecutive
+	// LBR records (block start -> block start).
+	fallEdges map[[2]uint64]uint64
+}
+
+// disassembleFunc performs recursive-descent disassembly of one function,
+// reconstructing its CFG. Landing pads are seeded from the LSDA, as real
+// BOLT seeds them from .eh_frame. On any ambiguity — decode failure,
+// control flow leaving the function, an unrecoverable jump table — the
+// function is marked non-simple and will not be rewritten.
+func (b *boltCtx) disassembleFunc(sym objfile.FinalSym) *dFunc {
+	fn := &dFunc{sym: sym, byAddr: map[uint64]*dBlock{}, simple: true}
+	start, end := sym.Addr, sym.Addr+uint64(sym.Size)
+	if sym.Size <= 0 {
+		fn.simple = false
+		fn.reason = "zero-size symbol"
+		return fn
+	}
+
+	nonSimple := func(format string, args ...any) *dFunc {
+		fn.simple = false
+		fn.reason = fmt.Sprintf(format, args...)
+		return fn
+	}
+
+	instAt := map[uint64]dInst{}
+	leaders := map[uint64]bool{start: true}
+	pending := []uint64{start}
+	// Exception landing pads are unreachable by direct control flow; seed
+	// them from the exception tables (BOLT's split-eh handling).
+	for _, pad := range b.padsIn(start, end) {
+		leaders[pad] = true
+		pending = append(pending, pad)
+	}
+
+	type pendingEdge struct {
+		from   uint64 // branch instruction address
+		target uint64
+	}
+
+	for len(pending) > 0 {
+		addr := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		if _, seen := instAt[addr]; seen {
+			continue
+		}
+		// Track register materializations along the linear walk for
+		// jump-table base recovery.
+		lastMov := map[byte]uint64{}
+		for {
+			if addr < start || addr >= end {
+				return nonSimple("control flow leaves function at %#x", addr)
+			}
+			if _, seen := instAt[addr]; seen {
+				break
+			}
+			raw, err := b.bin.ReadText(addr, maxReadable(b.bin, addr))
+			if err != nil {
+				return nonSimple("fetch at %#x: %v", addr, err)
+			}
+			inst, size, err := isa.Decode(raw, 0)
+			if err != nil {
+				return nonSimple("decode at %#x: %v", addr, err)
+			}
+			di := dInst{addr: addr, inst: inst, size: size}
+			instAt[addr] = di
+			b.stats.InstsDecoded++
+			next := addr + uint64(size)
+			op := inst.Op
+			switch {
+			case op == isa.OpMovI64:
+				lastMov[inst.A] = uint64(inst.Imm)
+				addr = next
+				continue
+			case op == isa.OpCall:
+				target := uint64(int64(next) + inst.Imm)
+				b.callArcs = append(b.callArcs, callArc{site: addr, from: start, to: target})
+				addr = next
+				continue
+			case op.IsUncondJump():
+				target := uint64(int64(next) + inst.Imm)
+				leaders[target] = true
+				pending = append(pending, target)
+				if next < end {
+					leaders[next] = true // next block leader (not a successor)
+				}
+			case op.IsCondBranch():
+				target := uint64(int64(next) + inst.Imm)
+				leaders[target] = true
+				leaders[next] = true
+				pending = append(pending, target, next)
+			case op == isa.OpJmpR:
+				base, ok := lastMov[inst.A]
+				if !ok {
+					return nonSimple("indirect jump at %#x with unknown base", addr)
+				}
+				jt, err := b.recoverTable(base, start, end)
+				if err != nil {
+					return nonSimple("jump table at %#x: %v", addr, err)
+				}
+				jt.jmprAddr = addr
+				jt.movAddr = findMovAddr(instAt, inst.A, base)
+				fn.tables = append(fn.tables, jt)
+				b.stats.JumpTables++
+				for _, t := range jt.targets {
+					leaders[t] = true
+					pending = append(pending, t)
+				}
+				if next < end {
+					leaders[next] = true
+				}
+			case op == isa.OpRet || op == isa.OpHalt || op == isa.OpThrow:
+				if next < end {
+					leaders[next] = true
+				}
+			default:
+				addr = next
+				continue
+			}
+			break // terminator handled
+		}
+	}
+
+	// Partition decoded instructions into blocks at leader boundaries.
+	addrs := make([]uint64, 0, len(instAt))
+	for a := range instAt {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var cur *dBlock
+	flush := func() {
+		if cur != nil && len(cur.insts) > 0 {
+			cur.end = cur.insts[len(cur.insts)-1].addr + uint64(cur.insts[len(cur.insts)-1].size)
+			fn.blocks = append(fn.blocks, cur)
+			fn.byAddr[cur.start] = cur
+		}
+		cur = nil
+	}
+	for _, a := range addrs {
+		if leaders[a] || cur == nil {
+			flush()
+			cur = &dBlock{start: a, tableID: -1}
+		}
+		cur.insts = append(cur.insts, instAt[a])
+		di := instAt[a]
+		if di.inst.Op.IsTerminator() {
+			flush()
+		}
+	}
+	flush()
+
+	// Successor wiring.
+	tableOfJmpr := map[uint64]int{}
+	for i, jt := range fn.tables {
+		tableOfJmpr[jt.jmprAddr] = i
+	}
+	for _, blk := range fn.blocks {
+		last := blk.insts[len(blk.insts)-1]
+		next := last.addr + uint64(last.size)
+		op := last.inst.Op
+		switch {
+		case op.IsUncondJump():
+			blk.takenTarget = uint64(int64(next) + last.inst.Imm)
+		case op.IsCondBranch():
+			blk.takenTarget = uint64(int64(next) + last.inst.Imm)
+			blk.fallTarget = next
+		case op == isa.OpJmpR:
+			blk.tableID = tableOfJmpr[last.addr]
+		case op == isa.OpRet || op == isa.OpHalt || op == isa.OpThrow:
+		default:
+			// The block ended because the next address is a leader:
+			// physical fall-through into it.
+			blk.fallTarget = next
+		}
+	}
+	b.stats.BlocksFound += int64(len(fn.blocks))
+	return fn
+}
+
+// maxReadable bounds a text read to the segment end.
+func maxReadable(bin *objfile.Binary, addr uint64) int {
+	n := bin.TextEnd() - addr
+	if n > isa.MaxInstSize {
+		n = isa.MaxInstSize
+	}
+	return int(n)
+}
+
+// findMovAddr locates the decoded movi64 that materialized value into reg.
+func findMovAddr(instAt map[uint64]dInst, reg byte, value uint64) uint64 {
+	for a, di := range instAt {
+		if di.inst.Op == isa.OpMovI64 && di.inst.A == reg && uint64(di.inst.Imm) == value {
+			return a
+		}
+	}
+	return 0
+}
+
+// recoverTable reads jump-table entries while they point into the
+// function. Tables live either in rodata or embedded in the text segment
+// (data-in-code); the embedded case uses the classic heuristic — read
+// 8-byte words until one falls outside the function — which is exactly the
+// inexact-disassembly territory §5.8 warns about. It works here because
+// instruction bytes essentially never alias into the function's small
+// address range; on real x86 binaries it sometimes does not.
+func (b *boltCtx) recoverTable(base, fnStart, fnEnd uint64) (jumpTable, error) {
+	jt := jumpTable{tableAddr: base}
+	read := func(addr uint64) (uint64, bool) {
+		roStart := b.bin.RodataBase
+		roEnd := roStart + uint64(len(b.bin.Rodata))
+		if addr >= roStart && addr+8 <= roEnd {
+			return binary.LittleEndian.Uint64(b.bin.Rodata[addr-roStart:]), true
+		}
+		if addr >= b.bin.TextBase && addr+8 <= b.bin.TextEnd() {
+			return binary.LittleEndian.Uint64(b.bin.Text[addr-b.bin.TextBase:]), true
+		}
+		return 0, false
+	}
+	if _, ok := read(base); !ok {
+		return jt, fmt.Errorf("table base %#x not in rodata or text", base)
+	}
+	for addr := base; ; addr += 8 {
+		entry, ok := read(addr)
+		if !ok {
+			break
+		}
+		if entry < fnStart || entry >= fnEnd {
+			break
+		}
+		jt.targets = append(jt.targets, entry)
+	}
+	if len(jt.targets) == 0 {
+		return jt, fmt.Errorf("no valid entries at %#x", base)
+	}
+	return jt, nil
+}
+
+// padsIn lists landing-pad addresses within a function range, from LSDA.
+func (b *boltCtx) padsIn(start, end uint64) []uint64 {
+	var pads []uint64
+	seen := map[uint64]bool{}
+	for off := 0; off+16 <= len(b.bin.LSDA); off += 16 {
+		pad := binary.LittleEndian.Uint64(b.bin.LSDA[off+8:])
+		if pad >= start && pad < end && !seen[pad] {
+			seen[pad] = true
+			pads = append(pads, pad)
+		}
+	}
+	return pads
+}

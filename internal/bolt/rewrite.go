@@ -1,0 +1,510 @@
+package bolt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"propeller/internal/hfsort"
+	"propeller/internal/isa"
+	"propeller/internal/objfile"
+)
+
+// rewrite emits the optimized binary: moved functions are re-encoded into
+// a new text segment appended after all existing segments (2M aligned by
+// default, §5.3); the original text is left untouched, so non-rewritten
+// code keeps executing the old copies. Absolute operands are re-resolved
+// through the retained relocations; function-pointer slots in data are
+// redirected; jump tables of moved functions are regenerated; LSDA
+// call-site records for moved code are appended. Branches are re-laid out
+// with an iterative shortening pass, so moved code stays compact.
+//
+// What is deliberately NOT updated: link-time code-integrity digests baked
+// into data (RelCode64) — a rewriter has no general way to recompute an
+// application-defined digest, which is why FIPS-checked binaries crash at
+// startup after BOLT (§5.8).
+func (b *boltCtx) rewrite(funcs []*dFunc) (*objfile.Binary, error) {
+	out := b.bin.Clone()
+
+	var moved []*dFunc
+	b.movedByEntry = map[uint64]*dFunc{}
+	for _, fn := range funcs {
+		if fn.moved {
+			moved = append(moved, fn)
+			b.movedByEntry[fn.sym.Addr] = fn
+		}
+	}
+	if len(moved) == 0 {
+		return out, nil
+	}
+
+	// Function emission order.
+	if b.opts.ReorderFunctions {
+		hf := make([]hfsort.Func, len(moved))
+		idx := map[uint64]int{}
+		for i, fn := range moved {
+			hf[i] = hfsort.Func{Name: fn.sym.Name, Size: fn.sym.Size, Samples: fn.samples}
+			idx[fn.sym.Addr] = i
+		}
+		var calls []hfsort.Call
+		sort.Slice(b.callArcs, func(i, j int) bool { return b.callArcs[i].site < b.callArcs[j].site })
+		for _, arc := range b.callArcs {
+			ci, ok1 := idx[arc.from]
+			ce, ok2 := idx[arc.to]
+			if ok1 && ok2 {
+				if w := b.arcWeight(arc); w > 0 {
+					calls = append(calls, hfsort.Call{Caller: ci, Callee: ce, Weight: w})
+				}
+			}
+		}
+		order := hfsort.Order(hf, calls, 0)
+		reordered := make([]*dFunc, len(moved))
+		for i, fi := range order {
+			reordered[i] = moved[fi]
+		}
+		moved = reordered
+	}
+
+	// New segment base: after every existing segment.
+	segEnd := out.DataBase + uint64(len(out.Data)) + uint64(out.BSSSize)
+	if roEnd := out.RodataBase + uint64(len(out.Rodata)); roEnd > segEnd {
+		segEnd = roEnd
+	}
+	if tEnd := out.TextEnd(); tEnd > segEnd {
+		segEnd = tEnd
+	}
+	alignTo := uint64(objfile.PageSize)
+	if !b.opts.NoHugePageAlign {
+		alignTo = objfile.HugePageSize
+	}
+	newBase := (segEnd + alignTo - 1) / alignTo * alignTo
+
+	// Block placement: per-function hot chains, then the shared cold
+	// region, in function order.
+	var placed []*placedBlock
+	blockPB := map[*dBlock]*placedBlock{}
+	addPlaced := func(fn *dFunc, list []*dBlock) {
+		for i, blk := range list {
+			pb := &placedBlock{fn: fn, blk: blk}
+			if i+1 < len(list) {
+				pb.next = list[i+1]
+			}
+			placed = append(placed, pb)
+			blockPB[blk] = pb
+		}
+	}
+	hotOf := map[*dFunc][]*dBlock{}
+	coldOf := map[*dFunc][]*dBlock{}
+	for _, fn := range moved {
+		hot, cold := b.layoutBlocks(fn)
+		hotOf[fn], coldOf[fn] = hot, cold
+	}
+	for _, fn := range moved {
+		addPlaced(fn, hotOf[fn])
+	}
+	for _, fn := range moved {
+		addPlaced(fn, coldOf[fn])
+	}
+
+	// Build emission plans.
+	for _, pb := range placed {
+		if err := b.planBlock(pb); err != nil {
+			return nil, err
+		}
+	}
+
+	// Iterative shortening: blocks pack with no alignment gaps, so every
+	// displacement magnitude is non-increasing as branches shrink and the
+	// greedy pass is safe.
+	tableNew := map[*jumpTable]uint64{}
+	var newEnd uint64
+	assign := func() {
+		addr := newBase
+		for _, pb := range placed {
+			pb.addr = addr
+			for i := range pb.items {
+				addr += uint64(pb.items[i].size())
+			}
+		}
+		addr = (addr + 7) &^ 7
+		for _, fn := range moved {
+			for ti := range fn.tables {
+				jt := &fn.tables[ti]
+				tableNew[jt] = addr
+				addr += 8 * uint64(len(jt.targets))
+			}
+		}
+		newEnd = addr
+	}
+	assign()
+	for {
+		changed := false
+		for _, pb := range placed {
+			addr := pb.addr
+			for i := range pb.items {
+				it := &pb.items[i]
+				if it.br != nil && it.br.size == 5 {
+					target := blockPB[it.br.target]
+					if target != nil {
+						disp := int64(target.addr) - (int64(addr) + 2)
+						if isa.FitsRel8(disp) {
+							it.br.size = 2
+							changed = true
+						}
+					}
+				}
+				addr += uint64(it.size())
+			}
+		}
+		if !changed {
+			break
+		}
+		assign()
+	}
+
+	// Emission.
+	blockNew := map[*dBlock]uint64{}
+	for _, pb := range placed {
+		blockNew[pb.blk] = pb.addr
+	}
+	instNew := map[uint64]uint64{}
+	code := make([]byte, 0, newEnd-newBase)
+	for _, pb := range placed {
+		if newBase+uint64(len(code)) != pb.addr {
+			return nil, fmt.Errorf("bolt: emission drift for %s block %#x", pb.fn.sym.Name, pb.blk.start)
+		}
+		blkCode, err := b.emitBlock(pb, blockPB, tableNew, instNew)
+		if err != nil {
+			return nil, err
+		}
+		code = append(code, blkCode...)
+	}
+	for newBase+uint64(len(code)) < tableStart(tableNew, newEnd) {
+		code = append(code, byte(isa.OpHalt))
+	}
+	for _, fn := range moved {
+		for ti := range fn.tables {
+			jt := &fn.tables[ti]
+			if newBase+uint64(len(code)) != tableNew[jt] {
+				return nil, fmt.Errorf("bolt: table drift for %s", fn.sym.Name)
+			}
+			for _, t := range jt.targets {
+				na, ok := blockNew[fn.byAddr[t]]
+				if !ok {
+					return nil, fmt.Errorf("bolt: jump table target %#x of %s not emitted", t, fn.sym.Name)
+				}
+				code = binary.LittleEndian.AppendUint64(code, na)
+			}
+		}
+	}
+	b.mem.Alloc(int64(len(code)) * 2) // emission buffers
+
+	// Extend the text image: [oldBase, newEnd), hole filled with halts.
+	oldLen := len(out.Text)
+	grown := make([]byte, newEnd-out.TextBase)
+	for i := oldLen; i < len(grown); i++ {
+		grown[i] = byte(isa.OpHalt)
+	}
+	copy(grown, out.Text)
+	copy(grown[newBase-out.TextBase:], code)
+	out.Text = grown
+	out.TextFileBytes = int64(oldLen) + int64(len(code))
+	out.Sections = append(out.Sections, objfile.PlacedSection{
+		Name: ".text.bolt", Kind: objfile.SecText, Addr: newBase, Size: int64(len(code)),
+	})
+
+	// Symbol updates for moved functions.
+	movedEntry := map[uint64]uint64{}
+	for _, fn := range moved {
+		movedEntry[fn.sym.Addr] = blockNew[fn.blocks[0]]
+	}
+	for i := range out.Symbols {
+		s := &out.Symbols[i]
+		if na, ok := movedEntry[s.Addr]; ok && (s.Kind == objfile.SymFunc || s.Kind == objfile.SymFuncPart) {
+			fn := funcBySym(moved, s.Addr)
+			var size int64
+			for _, blk := range hotOf[fn] {
+				pb := blockPB[blk]
+				for i := range pb.items {
+					size += pb.items[i].size()
+				}
+			}
+			s.Addr = na
+			s.Size = size
+		}
+	}
+	if na, ok := movedEntry[out.Entry]; ok {
+		out.Entry = na
+	}
+
+	// Function-pointer slots in rodata/data: relocation mode lets BOLT
+	// redirect them to the moved copies (dispatch tables, vtables).
+	// Recovered jump tables are excluded: their old entries must keep
+	// pointing into the old copies.
+	type span struct{ lo, hi uint64 }
+	var jtSpans []span
+	for _, fn := range moved {
+		for _, jt := range fn.tables {
+			jtSpans = append(jtSpans, span{jt.tableAddr, jt.tableAddr + 8*uint64(len(jt.targets))})
+		}
+	}
+	inJT := func(addr uint64) bool {
+		for _, s := range jtSpans {
+			if addr >= s.lo && addr < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range b.bin.Relas {
+		if r.Type != objfile.RelAbs64Data || r.Addend != 0 || inJT(r.Addr) {
+			continue
+		}
+		fn := b.movedByEntry[oldSymAddr(b.bin, r.Sym)]
+		if fn == nil {
+			continue
+		}
+		na, ok := blockNew[fn.blocks[0]]
+		if !ok {
+			continue
+		}
+		switch {
+		case r.Addr >= out.RodataBase && r.Addr+8 <= out.RodataBase+uint64(len(out.Rodata)):
+			binary.LittleEndian.PutUint64(out.Rodata[r.Addr-out.RodataBase:], na)
+		case r.Addr >= out.DataBase && r.Addr+8 <= out.DataBase+uint64(len(out.Data)):
+			binary.LittleEndian.PutUint64(out.Data[r.Addr-out.DataBase:], na)
+		}
+	}
+
+	// LSDA: append remapped call-site records for moved code.
+	var extra []byte
+	for off := 0; off+16 <= len(b.bin.LSDA); off += 16 {
+		callEnd := binary.LittleEndian.Uint64(b.bin.LSDA[off:])
+		pad := binary.LittleEndian.Uint64(b.bin.LSDA[off+8:])
+		// The call instruction is 5 (direct) or 2 (indirect) bytes.
+		var newCallEnd uint64
+		for _, csz := range []uint64{5, 2} {
+			if na, ok := instNew[callEnd-csz]; ok {
+				newCallEnd = na + csz
+				break
+			}
+		}
+		if newCallEnd == 0 {
+			continue
+		}
+		newPad := pad
+		for _, fn := range moved {
+			if blk, ok := fn.byAddr[pad]; ok {
+				if na, ok := blockNew[blk]; ok {
+					newPad = na
+				}
+				break
+			}
+		}
+		extra = binary.LittleEndian.AppendUint64(extra, newCallEnd)
+		extra = binary.LittleEndian.AppendUint64(extra, newPad)
+	}
+	out.LSDA = append(out.LSDA, extra...)
+	return out, nil
+}
+
+func tableStart(tableNew map[*jumpTable]uint64, newEnd uint64) uint64 {
+	start := newEnd
+	for _, a := range tableNew {
+		if a < start {
+			start = a
+		}
+	}
+	return start
+}
+
+// placedBlock is one block in the new layout with its emission plan.
+type placedBlock struct {
+	fn    *dFunc
+	blk   *dBlock
+	next  *dBlock // layout successor in the same region
+	addr  uint64
+	items []emitItem
+}
+
+// emitItem is either a fixed-size re-encoded instruction or a branch whose
+// width the shortening pass decides.
+type emitItem struct {
+	inst *dInst // nil for synthesized branches
+	br   *emitBranch
+}
+
+type emitBranch struct {
+	op     isa.Op // long form
+	target *dBlock
+	size   int64 // 5 or 2
+}
+
+func (it *emitItem) size() int64 {
+	if it.br != nil {
+		return it.br.size
+	}
+	return int64(it.inst.size)
+}
+
+// planBlock decides the emission items for one placed block.
+func (b *boltCtx) planBlock(pb *placedBlock) error {
+	fn, blk, next := pb.fn, pb.blk, pb.next
+	resolve := func(target uint64) (*dBlock, error) {
+		dst, ok := fn.byAddr[target]
+		if !ok {
+			return nil, fmt.Errorf("bolt: %s: branch target %#x not a known block", fn.sym.Name, target)
+		}
+		return dst, nil
+	}
+	for i := range blk.insts {
+		di := &blk.insts[i]
+		last := i == len(blk.insts)-1
+		op := di.inst.Op
+		switch {
+		case last && op.IsUncondJump():
+			if next != nil && next.start == blk.takenTarget {
+				continue // falls through in the new layout
+			}
+			dst, err := resolve(blk.takenTarget)
+			if err != nil {
+				return err
+			}
+			pb.items = append(pb.items, emitItem{br: &emitBranch{op: isa.OpJmp, target: dst, size: 5}})
+		case last && op.IsCondBranch():
+			longOp := op
+			if op.IsShortBranch() {
+				longOp = op.LongForm()
+			}
+			taken, fall := blk.takenTarget, blk.fallTarget
+			cond := longOp.BranchCond()
+			if next != nil && next.start == taken && fall != 0 {
+				cond = cond.Negate()
+				taken, fall = fall, taken
+			}
+			dst, err := resolve(taken)
+			if err != nil {
+				return err
+			}
+			pb.items = append(pb.items, emitItem{br: &emitBranch{op: isa.CondBranch(cond), target: dst, size: 5}})
+			if next == nil || next.start != fall {
+				fdst, err := resolve(fall)
+				if err != nil {
+					return err
+				}
+				pb.items = append(pb.items, emitItem{br: &emitBranch{op: isa.OpJmp, target: fdst, size: 5}})
+			}
+		default:
+			pb.items = append(pb.items, emitItem{inst: di})
+		}
+	}
+	lastOp := blk.insts[len(blk.insts)-1].inst.Op
+	if !lastOp.IsTerminator() && blk.fallTarget != 0 {
+		if next == nil || next.start != blk.fallTarget {
+			dst, err := resolve(blk.fallTarget)
+			if err != nil {
+				return err
+			}
+			pb.items = append(pb.items, emitItem{br: &emitBranch{op: isa.OpJmp, target: dst, size: 5}})
+		}
+	}
+	return nil
+}
+
+// emitBlock renders one planned block at its final address.
+func (b *boltCtx) emitBlock(pb *placedBlock, blockPB map[*dBlock]*placedBlock, tableNew map[*jumpTable]uint64, instNew map[uint64]uint64) ([]byte, error) {
+	fn := pb.fn
+	tableByMov := map[uint64]*jumpTable{}
+	for ti := range fn.tables {
+		jt := &fn.tables[ti]
+		if jt.movAddr != 0 {
+			tableByMov[jt.movAddr] = jt
+		}
+	}
+	var buf []byte
+	for i := range pb.items {
+		it := &pb.items[i]
+		cur := pb.addr + uint64(len(buf))
+		if it.br != nil {
+			target := blockPB[it.br.target]
+			if target == nil {
+				return nil, fmt.Errorf("bolt: %s: target block not placed", fn.sym.Name)
+			}
+			if it.br.size == 2 {
+				disp := int64(target.addr) - (int64(cur) + 2)
+				buf = isa.Encode(buf, isa.Inst{Op: it.br.op.ShortForm(), Imm: disp})
+			} else {
+				disp := int64(target.addr) - (int64(cur) + 5)
+				buf = isa.Encode(buf, isa.Inst{Op: it.br.op, Imm: disp})
+			}
+			continue
+		}
+		di := it.inst
+		instNew[di.addr] = cur
+		switch di.inst.Op {
+		case isa.OpCall:
+			oldTarget := uint64(int64(di.addr+uint64(di.size)) + di.inst.Imm)
+			newTarget := oldTarget
+			if na, ok := b.movedEntryAddr(oldTarget, blockPB); ok {
+				newTarget = na
+			}
+			buf = isa.Encode(buf, isa.Inst{Op: isa.OpCall, Imm: int64(newTarget) - (int64(cur) + 5)})
+		case isa.OpMovI64:
+			imm := di.inst.Imm
+			if jt, ok := tableByMov[di.addr]; ok {
+				imm = int64(tableNew[jt])
+			} else if r, ok := b.relocAt[di.addr]; ok && r.Type == objfile.RelAbs64 {
+				// Re-resolve through the retained relocation.
+				oldSym := uint64(imm) - uint64(r.Addend)
+				if na, ok := b.movedEntryAddr(oldSym, blockPB); ok {
+					imm = int64(na + uint64(r.Addend))
+				}
+			}
+			buf = isa.Encode(buf, isa.Inst{Op: isa.OpMovI64, A: di.inst.A, Imm: imm})
+		default:
+			buf = isa.Encode(buf, di.inst)
+		}
+	}
+	return buf, nil
+}
+
+// movedEntryAddr maps an old function entry address to its new location.
+func (b *boltCtx) movedEntryAddr(oldAddr uint64, blockPB map[*dBlock]*placedBlock) (uint64, bool) {
+	fn := b.movedByEntry[oldAddr]
+	if fn == nil {
+		return 0, false
+	}
+	pb := blockPB[fn.blocks[0]]
+	if pb == nil {
+		return 0, false
+	}
+	return pb.addr, true
+}
+
+// oldSymAddr resolves a symbol's pre-rewrite address.
+func oldSymAddr(bin *objfile.Binary, name string) uint64 {
+	if s, ok := bin.SymbolByName(name); ok {
+		return s.Addr
+	}
+	return 0
+}
+
+func funcBySym(moved []*dFunc, oldAddr uint64) *dFunc {
+	for _, fn := range moved {
+		if fn.sym.Addr == oldAddr {
+			return fn
+		}
+	}
+	return nil
+}
+
+// arcWeight looks up the LBR weight of a call arc.
+func (b *boltCtx) arcWeight(arc callArc) uint64 {
+	var w uint64
+	for e, ew := range b.agg {
+		if e.From == arc.site {
+			w += ew
+		}
+	}
+	return w
+}

@@ -1,0 +1,84 @@
+package codegen
+
+import (
+	"fmt"
+
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+)
+
+// applyHeuristicSplit implements the pre-Propeller machine function
+// splitter the paper's §4.6 (and Fig. 2 centre) describes: cold basic
+// blocks are extracted into a separate function reached through a call,
+// paying call/ret overhead at the split point. Because of that overhead, a
+// profitability heuristic gates extraction by region size — the very
+// heuristic basic block sections make unnecessary.
+//
+// The transformation runs on a clone; the input module is not modified.
+// For each hot function (some block has a non-zero profile count), every
+// cold block that
+//
+//   - is not the entry and not a landing pad,
+//   - ends in an unconditional jump,
+//   - contains no exception call sites (its pads live in the original), and
+//   - has a body of at least minBytes of code
+//
+// is rewritten as `call <fn>.split.<id>` followed by the original jump, and
+// its body moves to a new function ending in ret.
+func applyHeuristicSplit(m *ir.Module, minBytes int) *ir.Module {
+	out := ir.CloneModule(m)
+	var extracted []*ir.Func
+	for _, f := range out.Funcs {
+		hot := false
+		for _, b := range f.Blocks {
+			if b.Count > 0 {
+				hot = true
+				break
+			}
+		}
+		if !hot {
+			continue
+		}
+		for _, b := range f.Blocks {
+			if !splitEligible(b, minBytes) {
+				continue
+			}
+			coldName := fmt.Sprintf("%s.split.%d", f.Name, b.ID)
+			cold := &ir.Func{Name: coldName, Module: f.Module, Linkage: ir.Internal}
+			// A fresh single-block function holding the extracted body.
+			cb := newBlockFor(cold)
+			cb.Ins = b.Ins
+			cb.Return()
+			extracted = append(extracted, cold)
+
+			b.Ins = []ir.Inst{{Op: isa.OpCall, Sym: coldName}}
+		}
+	}
+	out.Funcs = append(out.Funcs, extracted...)
+	return out
+}
+
+// newBlockFor adds the entry block to a hand-constructed function.
+func newBlockFor(f *ir.Func) *ir.Block {
+	// ir.Func tracks its own ID counter via NewBlock; constructing the
+	// function directly means the first NewBlock call yields ID 0, the
+	// entry.
+	return f.NewBlock()
+}
+
+func splitEligible(b *ir.Block, minBytes int) bool {
+	if b.Count > 0 || b.ID == 0 || b.LandingPad {
+		return false
+	}
+	if b.Term.Kind != ir.TermJump {
+		return false
+	}
+	var size int
+	for _, in := range b.Ins {
+		if in.Pad != nil {
+			return false
+		}
+		size += isa.SizeOf(in.Op)
+	}
+	return size >= minBytes
+}

@@ -1,0 +1,589 @@
+// Package core implements Propeller itself: the profile-guided, relinking
+// post-link optimizer of the paper. It orchestrates the four-phase
+// workflow of Fig. 1 over the substrates in this repository:
+//
+//	Phase 1  compile modules to optimized IR and cache it (§3.1)
+//	Phase 2  distributed backend + link with BB-address-map metadata (§3.2)
+//	Phase 3  LBR profile collection on the simulator + whole-program
+//	         analysis producing cc_prof.txt / ld_prof.txt (§3.3)
+//	Phase 4  rebuild only the hot modules' objects with cluster
+//	         directives, reuse every cold object from the cache, and
+//	         relink under the global symbol order (§3.4)
+//
+// The same entry points also build the PGO+ThinLTO baseline binary the
+// evaluation compares against.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/buildsys"
+	"propeller/internal/codegen"
+	"propeller/internal/ir"
+	"propeller/internal/layoutfile"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/prefetch"
+	"propeller/internal/profile"
+	"propeller/internal/sim"
+	"propeller/internal/wpa"
+)
+
+// Program is the input application: optimized IR modules (the Phase-1
+// artifacts, already carrying any PGO/ThinLTO transformations).
+type Program struct {
+	Name    string
+	Modules []*ir.Module
+	Entry   string // entry symbol; default "main"
+}
+
+func (p *Program) entry() string {
+	if p.Entry == "" {
+		return "main"
+	}
+	return p.Entry
+}
+
+// RunSpec describes how to execute the program on the simulator.
+type RunSpec struct {
+	Args      [4]int64
+	MaxInsts  uint64
+	LBRPeriod uint64 // default 997 for profiling runs
+}
+
+func (r RunSpec) lbrPeriod() uint64 {
+	if r.LBRPeriod == 0 {
+		return 997
+	}
+	return r.LBRPeriod
+}
+
+// Options configure the pipeline.
+type Options struct {
+	// Executor runs distributed actions; default buildsys.Distributed().
+	Executor *buildsys.Executor
+
+	// IRCache and ObjCache are the build system's artifact caches; fresh
+	// ones are created when nil (a cold build).
+	IRCache  *buildsys.Cache
+	ObjCache *buildsys.Cache
+
+	// InterProc enables §4.7 inter-procedural layout in the WPA.
+	InterProc bool
+
+	// HugePages links the final binaries with 2M-page text.
+	HugePages bool
+
+	// DataInCode embeds jump tables in text (default true: it matches
+	// what production toolchains emit and what breaks disassemblers).
+	NoDataInCode bool
+
+	// HeuristicSplit applies the baseline call-based splitter in the
+	// metadata/baseline builds (for the §4.6 comparison).
+	HeuristicSplit bool
+
+	// SoftwarePrefetch enables the §3.5 extension: the profiling run also
+	// collects a cache-miss profile, and Phase 4 codegen inserts software
+	// prefetches ahead of the hottest missing loads.
+	SoftwarePrefetch bool
+
+	// PrefetchConfig tunes the §3.5 analysis.
+	PrefetchConfig prefetch.Config
+
+	// prefetchDirectives is filled by Optimize between Phases 3 and 4.
+	prefetchDirectives prefetch.Directives
+
+	// WPA carries additional analyzer knobs.
+	WPA wpa.Config
+}
+
+func (o Options) executor() *buildsys.Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return buildsys.Distributed()
+}
+
+// PhaseStats records the modeled cost of one pipeline phase.
+type PhaseStats struct {
+	Actions   int
+	TotalCost float64 // summed single-core seconds
+	Makespan  float64 // modeled wall time
+	PeakMem   int64   // modeled peak action memory
+}
+
+// BuildResult is a produced binary plus its build costs.
+type BuildResult struct {
+	Binary  *objfile.Binary
+	Objects []*objfile.Object
+	Exec    *buildsys.ExecStats
+	Link    *linker.Stats
+
+	// Backends/Linking split the modeled cost as Fig. 9 reports it.
+	Backends float64
+	Linking  float64
+}
+
+// Result is the complete Propeller pipeline outcome.
+type Result struct {
+	Metadata  *BuildResult // the PM binary (Phase 2)
+	Optimized *BuildResult // the PO binary (Phase 4)
+
+	Profile    *profile.Profile
+	TrainRun   *sim.Result
+	Directives layoutfile.Directives
+	Order      layoutfile.SymbolOrder
+	WPAStats   wpa.Stats
+
+	// PrefetchDirectives are the §3.5 insertion sites (when enabled).
+	PrefetchDirectives prefetch.Directives
+
+	HotModules  int
+	ColdModules int
+	HotFraction float64 // fraction of objects rebuilt in Phase 4
+
+	Phase2 PhaseStats
+	Phase3 PhaseStats
+	Phase4 PhaseStats
+
+	// AnalyzeWall is the measured wall time of the whole-program analysis
+	// (used by the §4.7 intra-vs-inter study; modeled costs elsewhere).
+	AnalyzeWall time.Duration
+}
+
+// Cost-model constants: abstract seconds per unit of real work. Only
+// ratios matter for the reproduced figures.
+const (
+	costCodegenBase    = 0.4  // action startup
+	costCodegenPerByte = 4e-6 // backend time per IR byte
+	costLinkBase       = 1.0
+	costLinkPerByte    = 2.5e-8 // link time per input byte
+	costWPAPerRecord   = 2e-6   // DCFG construction per LBR record
+	costCachePerByte   = 1e-9   // cache fetch
+
+	memCodegenBase      = 200 << 20 // backend RSS floor
+	memCodegenPerIRByte = 12
+	memLinkBase         = 64 << 20
+)
+
+// Phase1CacheIR serializes every module into the IR cache, returning the
+// per-module content keys. This is the caching side of Phase 1; the
+// "compile to optimized IR" work itself is the PGO/ThinLTO front half that
+// produced p.Modules.
+func Phase1CacheIR(p *Program, cache *buildsys.Cache) []string {
+	keys := make([]string, len(p.Modules))
+	for i, m := range p.Modules {
+		data := ir.EncodeModule(m)
+		key := buildsys.Key([]byte("ir"), []byte(m.Name), data)
+		cache.Put(key, data)
+		keys[i] = key
+	}
+	return keys
+}
+
+type compiledObj struct {
+	idx  int
+	obj  *objfile.Object
+	data []byte
+}
+
+// buildObjects runs one codegen action per module under the executor.
+// Entries of cached that are non-nil are reused without an action.
+func buildObjects(p *Program, irKeys []string, irCache *buildsys.Cache, exec *buildsys.Executor, cached []*objfile.Object, optsFor func(m *ir.Module) codegen.Options) ([]*objfile.Object, *buildsys.ExecStats, error) {
+	results := make([]compiledObj, len(p.Modules))
+	var mu sync.Mutex
+	actions := make([]*buildsys.Action, 0, len(p.Modules))
+	for i := range p.Modules {
+		i := i
+		m := p.Modules[i]
+		if cached != nil && cached[i] != nil {
+			results[i] = compiledObj{idx: i, obj: cached[i]}
+			continue
+		}
+		irData, ok := irCache.Get(irKeys[i])
+		if !ok {
+			return nil, nil, fmt.Errorf("core: IR cache miss for module %s", m.Name)
+		}
+		irBytes := int64(len(irData))
+		actions = append(actions, &buildsys.Action{
+			Name:     "codegen:" + m.Name,
+			Cost:     costCodegenBase + float64(irBytes)*costCodegenPerByte,
+			MemBytes: memCodegenBase + irBytes*memCodegenPerIRByte,
+			Run: func() error {
+				mod, err := ir.DecodeModule(irData)
+				if err != nil {
+					return fmt.Errorf("core: decode cached IR for %s: %w", m.Name, err)
+				}
+				obj, err := codegen.Compile(mod, optsFor(mod))
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				results[i] = compiledObj{idx: i, obj: obj, data: objfile.EncodeObject(obj)}
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	stats, err := exec.Execute(actions)
+	if err != nil {
+		return nil, nil, err
+	}
+	objs := make([]*objfile.Object, len(results))
+	for i, r := range results {
+		objs[i] = r.obj
+	}
+	return objs, stats, nil
+}
+
+func linkAction(objs []*objfile.Object, cfg linker.Config, exec *buildsys.Executor) (*objfile.Binary, *linker.Stats, float64, error) {
+	var bin *objfile.Binary
+	var lst *linker.Stats
+	var inputBytes int64
+	for _, o := range objs {
+		inputBytes += o.Stats().Total()
+	}
+	cost := costLinkBase + float64(inputBytes)*costLinkPerByte
+	a := &buildsys.Action{
+		Name: "link",
+		Cost: cost,
+		// The linker's modeled memory is filled in after the fact; use the
+		// standard ~2x-inputs bound for admission control.
+		MemBytes: memLinkBase + 2*inputBytes,
+		Run: func() error {
+			var err error
+			bin, lst, err = linker.Link(objs, cfg)
+			return err
+		},
+	}
+	if _, err := exec.Execute([]*buildsys.Action{a}); err != nil {
+		return nil, nil, 0, err
+	}
+	return bin, lst, cost, nil
+}
+
+// BuildBaseline produces the plain optimized binary (PGO+ThinLTO, no
+// Propeller metadata): the "Base" configuration of the evaluation.
+func BuildBaseline(p *Program, opts Options) (*BuildResult, error) {
+	return buildVariant(p, opts, codegen.ModeNone, false)
+}
+
+// BuildWithMetadata produces the PM binary of Phase 2: identical layout to
+// the baseline plus BB address map metadata.
+func BuildWithMetadata(p *Program, opts Options) (*BuildResult, error) {
+	return buildVariant(p, opts, codegen.ModeLabels, true)
+}
+
+func buildVariant(p *Program, opts Options, mode codegen.Mode, emitMap bool) (*BuildResult, error) {
+	exec := opts.executor()
+	irCache := opts.IRCache
+	if irCache == nil {
+		irCache = buildsys.NewCache()
+	}
+	keys := Phase1CacheIR(p, irCache)
+
+	// Warm-cache fast path (§2.1: >90% action cache hit rates): a module
+	// whose object for this configuration is already cached skips its
+	// codegen action entirely.
+	cached := make([]*objfile.Object, len(p.Modules))
+	if opts.ObjCache != nil && emitMap {
+		for i := range p.Modules {
+			if data, ok := opts.ObjCache.Get(objCacheKey(keys[i])); ok {
+				obj, err := objfile.DecodeObject(data)
+				if err != nil {
+					return nil, fmt.Errorf("core: corrupt cached object for %s: %w", p.Modules[i].Name, err)
+				}
+				cached[i] = obj
+			}
+		}
+	}
+
+	objs, execStats, err := buildObjects(p, keys, irCache, exec, cached, func(m *ir.Module) codegen.Options {
+		return codegen.Options{
+			Mode:           mode,
+			DataInCode:     !opts.NoDataInCode,
+			HeuristicSplit: opts.HeuristicSplit,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.ObjCache != nil && emitMap {
+		for i, o := range objs {
+			if cached[i] == nil {
+				opts.ObjCache.Put(objCacheKey(keys[i]), objfile.EncodeObject(o))
+			}
+		}
+	}
+	bin, lst, linkCost, err := linkAction(objs, linker.Config{
+		Entry:       p.entry(),
+		EmitAddrMap: emitMap,
+		HugePages:   opts.HugePages,
+	}, exec)
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{
+		Binary:   bin,
+		Objects:  objs,
+		Exec:     execStats,
+		Link:     lst,
+		Backends: execStats.TotalCost,
+		Linking:  linkCost,
+	}, nil
+}
+
+func objCacheKey(irKey string) string {
+	return buildsys.KeyStrings("obj-labels", irKey)
+}
+
+// CollectProfile runs the metadata binary under representative load with
+// the LBR sampler enabled (Phase 3's profiling half). trackMisses also
+// records the §3.5 cache-miss profile.
+func CollectProfile(bin *objfile.Binary, spec RunSpec, trackMisses bool) (*profile.Profile, *sim.Result, error) {
+	mach, err := sim.Load(bin)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := mach.Run(sim.Config{
+		MaxInsts:        spec.MaxInsts,
+		LBRPeriod:       spec.lbrPeriod(),
+		Args:            spec.Args,
+		TrackLoadMisses: trackMisses,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Profile.Binary = "pm"
+	return res.Profile, res, nil
+}
+
+// Analyze runs the whole-program analysis (Phase 3's WPA half).
+func Analyze(bin *objfile.Binary, prof *profile.Profile, opts Options) (*wpa.Result, error) {
+	if bin.BBAddrMap == nil {
+		return nil, fmt.Errorf("core: binary has no BB address map; build with metadata first")
+	}
+	m, err := bbaddrmap.Decode(bin.BBAddrMap)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.WPA
+	cfg.InterProc = cfg.InterProc || opts.InterProc
+	return wpa.Analyze(m, prof, cfg)
+}
+
+// Relink is Phase 4: hot modules are re-generated with cluster directives
+// from cached IR; cold objects come straight from the object cache; the
+// final link applies the global symbol order and drops cold metadata.
+func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildResult, int, int, error) {
+	exec := opts.executor()
+	if opts.IRCache == nil || opts.ObjCache == nil {
+		return nil, 0, 0, fmt.Errorf("core: Relink requires the Phase-1 IR cache and Phase-2 object cache")
+	}
+	hotModule := make([]bool, len(p.Modules))
+	for i, m := range p.Modules {
+		for _, f := range m.Funcs {
+			if _, ok := res.Directives[f.Name]; ok {
+				hotModule[i] = true
+				break
+			}
+		}
+	}
+	hotNames := map[string]bool{}
+	objs := make([]*objfile.Object, len(p.Modules))
+	var actions []*buildsys.Action
+	var backendCost float64
+	nHot, nCold := 0, 0
+	for i := range p.Modules {
+		i := i
+		m := p.Modules[i]
+		if !hotModule[i] {
+			nCold++
+			data, ok := opts.ObjCache.Get(objCacheKey(irKeys[i]))
+			if !ok {
+				return nil, 0, 0, fmt.Errorf("core: object cache miss for cold module %s", m.Name)
+			}
+			obj, err := objfile.DecodeObject(data)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			objs[i] = obj
+			continue
+		}
+		nHot++
+		hotNames[m.Name] = true
+		irData, ok := opts.IRCache.Get(irKeys[i])
+		if !ok {
+			return nil, 0, 0, fmt.Errorf("core: IR cache miss for hot module %s", m.Name)
+		}
+		irBytes := int64(len(irData))
+		cost := costCodegenBase + float64(irBytes)*costCodegenPerByte
+		backendCost += cost
+		actions = append(actions, &buildsys.Action{
+			Name:     "codegen-list:" + m.Name,
+			Cost:     cost,
+			MemBytes: memCodegenBase + irBytes*memCodegenPerIRByte,
+			Run: func() error {
+				mod, err := ir.DecodeModule(irData)
+				if err != nil {
+					return err
+				}
+				obj, err := codegen.Compile(mod, codegen.Options{
+					Mode:       codegen.ModeList,
+					Directives: res.Directives,
+					DataInCode: !opts.NoDataInCode,
+					Prefetch:   opts.prefetchDirectives,
+				})
+				if err != nil {
+					return err
+				}
+				objs[i] = obj
+				return nil
+			},
+		})
+	}
+	execStats, err := exec.Execute(actions)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	bin, lst, linkCost, err := linkAction(objs, linker.Config{
+		Entry:       p.entry(),
+		Order:       &res.Order,
+		EmitAddrMap: true,
+		KeepMapFor:  func(obj string) bool { return hotNames[obj] },
+		HugePages:   opts.HugePages,
+	}, exec)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &BuildResult{
+		Binary:   bin,
+		Objects:  objs,
+		Exec:     execStats,
+		Link:     lst,
+		Backends: backendCost,
+		Linking:  linkCost,
+	}, nHot, nCold, nil
+}
+
+// Optimize runs the full Propeller pipeline end to end.
+func Optimize(p *Program, train RunSpec, opts Options) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	if opts.IRCache == nil {
+		opts.IRCache = buildsys.NewCache()
+	}
+	if opts.ObjCache == nil {
+		opts.ObjCache = buildsys.NewCache()
+	}
+
+	// Phases 1+2.
+	meta, err := BuildWithMetadata(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	irKeys := Phase1CacheIR(p, opts.IRCache) // idempotent: same keys
+
+	// Phase 3.
+	prof, trainRun, err := CollectProfile(meta.Binary, train, opts.SoftwarePrefetch)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling run failed: %w", err)
+	}
+	analyzeStart := time.Now()
+	wres, err := Analyze(meta.Binary, prof, opts)
+	if err != nil {
+		return nil, err
+	}
+	analyzeWall := time.Since(analyzeStart)
+
+	// §3.5 extension: derive prefetch-insertion directives from the
+	// cache-miss profile, to be applied by the Phase-4 backends.
+	var pfd prefetch.Directives
+	if opts.SoftwarePrefetch {
+		m, err := bbaddrmap.Decode(meta.Binary.BBAddrMap)
+		if err != nil {
+			return nil, err
+		}
+		pfd = prefetch.Analyze(m, trainRun.LoadMisses, opts.PrefetchConfig)
+		opts.prefetchDirectives = pfd
+	}
+
+	// Phase 4.
+	optimized, nHot, nCold, err := Relink(p, irKeys, wres, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Metadata:           meta,
+		Optimized:          optimized,
+		AnalyzeWall:        analyzeWall,
+		PrefetchDirectives: pfd,
+		Profile:            prof,
+		TrainRun:           trainRun,
+		Directives:         wres.Directives,
+		Order:              wres.Order,
+		WPAStats:           wres.Stats,
+		HotModules:         nHot,
+		ColdModules:        nCold,
+	}
+	if nHot+nCold > 0 {
+		out.HotFraction = float64(nHot) / float64(nHot+nCold)
+	}
+	out.Phase2 = PhaseStats{
+		Actions:   meta.Exec.Actions + 1,
+		TotalCost: meta.Backends + meta.Linking,
+		Makespan:  meta.Exec.Makespan + meta.Linking,
+		PeakMem:   maxI64(meta.Exec.PeakActionMem, meta.Link.PeakMemory),
+	}
+	out.Phase3 = PhaseStats{
+		Actions:   1,
+		TotalCost: float64(wres.Stats.Records) * costWPAPerRecord,
+		Makespan:  float64(wres.Stats.Records) * costWPAPerRecord,
+		PeakMem:   wres.Stats.ModeledBytes,
+	}
+	out.Phase4 = PhaseStats{
+		Actions:   optimized.Exec.Actions + 1,
+		TotalCost: optimized.Backends + optimized.Linking,
+		Makespan:  optimized.Exec.Makespan + optimized.Linking,
+		PeakMem:   maxI64(optimized.Exec.PeakActionMem, optimized.Link.PeakMemory),
+	}
+	return out, nil
+}
+
+func validate(p *Program) error {
+	if len(p.Modules) == 0 {
+		return fmt.Errorf("core: program %q has no modules", p.Name)
+	}
+	names := map[string]bool{}
+	for _, m := range p.Modules {
+		if names[m.Name] {
+			return fmt.Errorf("core: duplicate module name %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SortedHotFunctions lists the functions with layout directives (testing
+// and reporting aid).
+func (r *Result) SortedHotFunctions() []string {
+	out := make([]string, 0, len(r.Directives))
+	for fn := range r.Directives {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}

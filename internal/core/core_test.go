@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"propeller/internal/buildsys"
+	"propeller/internal/ir"
+	"propeller/internal/sim"
+	"propeller/internal/testprog"
+)
+
+func multiModuleProgram() *Program {
+	lib, app := testprog.CrossModule()
+	hot := testprog.HotCold(20000)
+	hot.Name = "hotmod"
+	// Rename main in the cross-module app to avoid the entry clash and
+	// make hotmod the entry module.
+	appMain := app.Func("main")
+	appMain.Name = "app_entry"
+	return &Program{
+		Name:    "testapp",
+		Modules: []*ir.Module{hot, lib, app},
+		Entry:   "main",
+	}
+}
+
+func runBinary(t *testing.T, b *BuildResult) *sim.Result {
+	t.Helper()
+	mach, err := sim.Load(b.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	p := multiModuleProgram()
+	opts := Options{
+		IRCache:  buildsys.NewCache(),
+		ObjCache: buildsys.NewCache(),
+	}
+	res, err := Optimize(p, RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metadata.Binary.BBAddrMap == nil {
+		t.Error("metadata binary missing BB address map")
+	}
+	if len(res.Directives) == 0 {
+		t.Fatal("no layout directives produced")
+	}
+	if _, ok := res.Directives["main"]; !ok {
+		t.Errorf("hot function main missing from directives: %v", res.SortedHotFunctions())
+	}
+	if res.HotModules == 0 {
+		t.Error("no hot modules")
+	}
+	if res.ColdModules == 0 {
+		t.Error("no cold modules: cache reuse path untested")
+	}
+	// Cold objects must have come from the object cache.
+	hits, _, _, _ := opts.ObjCache.Stats()
+	if hits == 0 {
+		t.Error("no object cache hits during relink")
+	}
+
+	// Semantics preserved.
+	mRes := runBinary(t, res.Metadata)
+	oRes := runBinary(t, res.Optimized)
+	if mRes.Exit != oRes.Exit {
+		t.Fatalf("optimization changed semantics: %d vs %d", mRes.Exit, oRes.Exit)
+	}
+	// The optimized layout must not take more branches than the baseline
+	// (HotCold's cold block sits mid-loop in the original layout).
+	if oRes.Counters.TakenBranch > mRes.Counters.TakenBranch {
+		t.Errorf("optimized layout takes more branches: %d vs %d",
+			oRes.Counters.TakenBranch, mRes.Counters.TakenBranch)
+	}
+	if oRes.Cycles > mRes.Cycles {
+		t.Errorf("optimized binary slower: %d vs %d cycles", oRes.Cycles, mRes.Cycles)
+	}
+
+	// The optimized binary keeps maps only for hot objects.
+	if res.Optimized.Binary.BBAddrMap == nil {
+		t.Error("optimized binary lost its hot-object address maps")
+	}
+	if res.Optimized.Binary.Stats().BBAddrMap >= res.Metadata.Binary.Stats().BBAddrMap {
+		t.Error("cold maps were not dropped in the relink")
+	}
+
+	// Phase stats populated.
+	for i, ps := range []PhaseStats{res.Phase2, res.Phase3, res.Phase4} {
+		if ps.TotalCost <= 0 || ps.PeakMem <= 0 {
+			t.Errorf("phase %d stats empty: %+v", i+2, ps)
+		}
+	}
+	// Phase 4 backends touch only hot modules, so they must be cheaper
+	// than the full Phase 2 backends.
+	if res.Optimized.Backends >= res.Metadata.Backends {
+		t.Errorf("relink backends (%f) not cheaper than full build (%f)",
+			res.Optimized.Backends, res.Metadata.Backends)
+	}
+}
+
+func TestBaselineVsMetadataSize(t *testing.T) {
+	p := multiModuleProgram()
+	base, err := BuildBaseline(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := BuildWithMetadata(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, ms := base.Binary.Stats(), meta.Binary.Stats()
+	if ms.BBAddrMap == 0 {
+		t.Error("metadata build has no map bytes")
+	}
+	if bs.BBAddrMap != 0 {
+		t.Error("baseline build has map bytes")
+	}
+	if bs.Text != ms.Text {
+		t.Errorf("metadata changed text size: %d vs %d (labels must not affect layout)", bs.Text, ms.Text)
+	}
+	// Same runtime behaviour.
+	rb := runBinary(t, base)
+	rm := runBinary(t, meta)
+	if rb.Exit != rm.Exit {
+		t.Errorf("exit differs: %d vs %d", rb.Exit, rm.Exit)
+	}
+	if rb.Cycles != rm.Cycles {
+		t.Errorf("metadata affected performance: %d vs %d cycles", rb.Cycles, rm.Cycles)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(&Program{Name: "empty"}, RunSpec{}, Options{}); err == nil {
+		t.Error("empty program accepted")
+	}
+	m1 := testprog.SumLoop(5)
+	m2 := testprog.SumLoop(5)
+	p := &Program{Name: "dup", Modules: []*ir.Module{m1, m2}}
+	if _, err := Optimize(p, RunSpec{}, Options{}); err == nil || !strings.Contains(err.Error(), "duplicate module") {
+		t.Errorf("duplicate modules: err = %v", err)
+	}
+}
+
+func TestRelinkRequiresCaches(t *testing.T) {
+	p := multiModuleProgram()
+	if _, _, _, err := Relink(p, nil, nil, Options{}); err == nil {
+		t.Error("Relink without caches accepted")
+	}
+}
+
+func TestInterProcPipeline(t *testing.T) {
+	p := multiModuleProgram()
+	opts := Options{InterProc: true}
+	res, err := Optimize(p, RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRes := runBinary(t, res.Metadata)
+	oRes := runBinary(t, res.Optimized)
+	if mRes.Exit != oRes.Exit {
+		t.Fatalf("inter-proc layout changed semantics: %d vs %d", mRes.Exit, oRes.Exit)
+	}
+}
+
+func TestHugePagesPipeline(t *testing.T) {
+	p := multiModuleProgram()
+	res, err := Optimize(p, RunSpec{MaxInsts: 10_000_000, LBRPeriod: 211}, Options{HugePages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimized.Binary.HugePages {
+		t.Error("optimized binary not hugepage-mapped")
+	}
+	oRes := runBinary(t, res.Optimized)
+	mRes := runBinary(t, res.Metadata)
+	if oRes.Exit != mRes.Exit {
+		t.Error("hugepages changed semantics")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"propeller/internal/buildsys"
+)
+
+// A second release with unchanged sources must reuse every Phase-2 object
+// from the cache (the >90% action-cache hit rates of §2.1), making the
+// warm build's backend phase nearly free.
+func TestIncrementalRebuildHitsCache(t *testing.T) {
+	p := multiModuleProgram()
+	opts := Options{
+		IRCache:  buildsys.NewCache(),
+		ObjCache: buildsys.NewCache(),
+	}
+	train := RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}
+
+	cold, err := Optimize(p, train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Optimize(p, train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same outputs.
+	if cold.Optimized.Binary.Entry != warm.Optimized.Binary.Entry ||
+		len(cold.Optimized.Binary.Text) != len(warm.Optimized.Binary.Text) {
+		t.Error("warm rebuild produced a different binary")
+	}
+	// The warm Phase-2 backends ran no codegen actions.
+	if warm.Metadata.Exec.Actions != 0 {
+		t.Errorf("warm build ran %d codegen actions, want 0", warm.Metadata.Exec.Actions)
+	}
+	if cold.Metadata.Exec.Actions == 0 {
+		t.Error("cold build ran no actions")
+	}
+	if warm.Metadata.Backends >= cold.Metadata.Backends {
+		t.Errorf("warm backends cost %.2f not below cold %.2f",
+			warm.Metadata.Backends, cold.Metadata.Backends)
+	}
+	hits, _, _, _ := opts.ObjCache.Stats()
+	if hits == 0 {
+		t.Error("no object cache hits on the warm build")
+	}
+	mRes := runBinary(t, warm.Optimized)
+	cRes := runBinary(t, cold.Optimized)
+	if mRes.Exit != cRes.Exit {
+		t.Error("warm rebuild changed semantics")
+	}
+}
+
+// The optimized binary remains strippable (§5.8: BOLTed binaries do not).
+func TestOptimizedBinaryStrippable(t *testing.T) {
+	p := multiModuleProgram()
+	res, err := Optimize(p, RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runBinary(t, res.Optimized).Exit
+	stripped := res.Optimized.Binary.Clone()
+	stripped.Strip()
+	if stripped.BBAddrMap != nil || stripped.RelaBytes != 0 {
+		t.Error("Strip left metadata")
+	}
+	got := runBinary(t, &BuildResult{Binary: stripped}).Exit
+	if got != want {
+		t.Errorf("stripped binary behaves differently: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+	"propeller/internal/sim"
+)
+
+// streamingProgram builds the §3.5 victim: a loop streaming through a
+// 1MB array far larger than the 32KB L1d, missing on every new line.
+func streamingProgram() *Program {
+	m := ir.NewModule("stream")
+	const arrayBytes = 1 << 20
+	m.AddGlobal(&ir.Global{Name: "arr", Size: arrayBytes})
+
+	f := m.NewFunc("main", 0)
+	entry := f.Entry()
+	outer := f.NewBlock()
+	loop := f.NewBlock()
+	check := f.NewBlock()
+	done := f.NewBlock()
+
+	// r0 acc, r2 pass counter, r3 cursor, r4 end.
+	entry.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 0})
+	entry.Emit(ir.Inst{Op: isa.OpMovI, A: 2, Imm: 0})
+	entry.Jump(outer)
+
+	outer.Emit(ir.Inst{Op: isa.OpMovI64, A: 3, Sym: "arr"})
+	outer.Emit(ir.Inst{Op: isa.OpMovI64, A: 4, Sym: "arr", Imm: arrayBytes})
+	outer.Jump(loop)
+
+	loop.Emit(ir.Inst{Op: isa.OpLoad, A: 3, B: 5, Imm: 0})
+	loop.Emit(ir.Inst{Op: isa.OpAdd, A: 0, B: 5})
+	loop.Emit(ir.Inst{Op: isa.OpAddI, A: 3, Imm: 64}) // next cache line
+	loop.Emit(ir.Inst{Op: isa.OpCmp, A: 3, B: 4})
+	loop.Branch(isa.CondLT, loop, check)
+
+	check.Emit(ir.Inst{Op: isa.OpAddI, A: 2, Imm: 1})
+	check.Emit(ir.Inst{Op: isa.OpCmpI, A: 2, Imm: 4})
+	check.Branch(isa.CondLT, outer, done)
+
+	done.Halt()
+	return &Program{Name: "stream", Modules: []*ir.Module{m}}
+}
+
+func TestSoftwarePrefetchReducesMisses(t *testing.T) {
+	p := streamingProgram()
+	train := RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}
+
+	plain, err := Optimize(p, train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Optimize(p, train, Options{SoftwarePrefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.PrefetchDirectives) == 0 {
+		t.Fatal("no prefetch directives produced")
+	}
+	run := func(b *BuildResult) *sim.Result {
+		mach, err := sim.Load(b.Binary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mach.Run(sim.Config{MaxInsts: 20_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(plain.Optimized)
+	opt := run(pf.Optimized)
+	if base.Exit != opt.Exit {
+		t.Fatalf("prefetch changed semantics: %d vs %d", base.Exit, opt.Exit)
+	}
+	if opt.Counters.Prefetches == 0 {
+		t.Fatal("no prefetch instructions executed")
+	}
+	if opt.Counters.L1DMiss >= base.Counters.L1DMiss {
+		t.Errorf("prefetching did not reduce L1d misses: %d vs %d",
+			opt.Counters.L1DMiss, base.Counters.L1DMiss)
+	}
+	if opt.Cycles >= base.Cycles {
+		t.Errorf("prefetching did not reduce cycles: %d vs %d", opt.Cycles, base.Cycles)
+	}
+	t.Logf("§3.5: L1d misses %d -> %d (%.0f%%), cycles %d -> %d (%+.2f%%)",
+		base.Counters.L1DMiss, opt.Counters.L1DMiss,
+		100*float64(opt.Counters.L1DMiss)/float64(base.Counters.L1DMiss),
+		base.Cycles, opt.Cycles,
+		100*(1-float64(opt.Cycles)/float64(base.Cycles)))
+}

@@ -1,0 +1,301 @@
+// Package eval runs the paper's evaluation protocol over a synthetic
+// workload: build the PGO+ThinLTO baseline, profile it, produce the
+// Propeller-optimized binary (relink) and the BOLT-optimized binary
+// (rewrite), execute all of them on the simulator, and collect every
+// measurement the paper's tables and figures report.
+package eval
+
+import (
+	"fmt"
+
+	"propeller/internal/bolt"
+	"propeller/internal/buildsys"
+	"propeller/internal/core"
+	"propeller/internal/heatmap"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+	"propeller/internal/workload"
+	"propeller/internal/wpa"
+)
+
+// Config controls one evaluation run.
+type Config struct {
+	Spec workload.Spec
+
+	// TrainInsts bounds the profiling run; EvalInsts the measurement runs.
+	TrainInsts uint64
+	EvalInsts  uint64
+	LBRPeriod  uint64
+
+	// RunBolt enables the comparator arm.
+	RunBolt bool
+
+	// BoltOptions override the default heavy preset.
+	BoltOptions *bolt.Options
+
+	// InterProc switches Propeller to §4.7 inter-procedural layout.
+	InterProc bool
+
+	// Heatmaps records Fig-7 instruction-access maps for the three
+	// binaries (rows x cols).
+	Heatmaps bool
+	HeatRows int
+	HeatCols int
+
+	// Workstation switches the build environment model from the
+	// distributed fleet to the 72-core developer machine (used for the
+	// open-source and SPEC rows of §5).
+	Workstation bool
+}
+
+func (c Config) trainInsts() uint64 {
+	if c.TrainInsts == 0 {
+		return 200_000_000
+	}
+	return c.TrainInsts
+}
+
+func (c Config) evalInsts() uint64 {
+	if c.EvalInsts == 0 {
+		return 400_000_000
+	}
+	return c.EvalInsts
+}
+
+func (c Config) lbrPeriod() uint64 {
+	if c.LBRPeriod == 0 {
+		return 211
+	}
+	return c.LBRPeriod
+}
+
+// Run is one measured execution.
+type Run struct {
+	Exit     int64
+	Insts    uint64
+	Cycles   uint64
+	Counters sim.Counters
+	Heat     *heatmap.Recorder
+}
+
+// Result carries everything the tables and figures need for one workload.
+type Result struct {
+	Spec workload.Spec
+
+	// Table 2 characteristics (measured on the baseline binary).
+	TextBytes  int64
+	NumFuncs   int
+	NumBlocks  int
+	ColdObjPct float64
+
+	// Binaries.
+	Base *objfile.Binary // PGO+ThinLTO
+	PM   *objfile.Binary // + Propeller metadata
+	PO   *objfile.Binary // Propeller optimized
+	BM   *objfile.Binary // + BOLT metadata (relocations)
+	BO   *objfile.Binary // BOLT optimized (nil if BOLT was not run)
+
+	// Executions. BOCrash is non-nil when the BOLTed binary faulted or
+	// failed its startup self-check (the "Crash" cells of Table 3).
+	BaseRun *Run
+	PORun   *Run
+	BORun   *Run
+	BOCrash error
+
+	// Phase-3 memory (Fig 4): Propeller WPA vs BOLT profile conversion.
+	WPAStats       wpa.Stats
+	BoltConvertMem int64
+
+	// Phase-4 memory and runtime (Figs 5 and 9).
+	BaseLink  *linker.Stats
+	PropLink  *linker.Stats
+	BoltStats *bolt.Stats
+
+	// Build-time model (Table 5, Fig 9).
+	PGOStats  *core.PGOStats
+	Propeller *core.Result
+
+	// Environment used for the modeled times.
+	Slots int
+}
+
+// RunWorkload executes the full protocol.
+func RunWorkload(cfg Config) (*Result, error) {
+	prog, err := workload.Generate(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{HugePages: cfg.Spec.HugePages, InterProc: cfg.InterProc}
+	if cfg.Workstation {
+		opts.Executor = buildsys.Workstation()
+	} else if cfg.Spec.Name == "superroot" {
+		opts.Executor = &buildsys.Executor{Slots: buildsys.DistributedSlots, MemLimit: buildsys.SuperrootMemLimit}
+	}
+	res := &Result{Spec: cfg.Spec, Slots: slotsOf(opts)}
+
+	// PGO + ThinLTO baseline preparation.
+	train := core.RunSpec{MaxInsts: cfg.trainInsts(), LBRPeriod: cfg.lbrPeriod()}
+	optimized, pgoStats, err := core.PreparePGO(prog.Core, train, opts, core.PGOOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: pgo: %w", cfg.Spec.Name, err)
+	}
+	res.PGOStats = pgoStats
+	p := &core.Program{Name: prog.Core.Name, Modules: optimized, Entry: prog.Core.Entry}
+
+	// Base binary.
+	base, err := core.BuildBaseline(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Base = base.Binary
+	res.BaseLink = base.Link
+	res.TextBytes = base.Binary.Stats().Text
+	res.NumFuncs = countFuncs(p)
+	res.NumBlocks = prog.TotalBlocks
+	res.ColdObjPct = 100 * float64(prog.ColdModules) / float64(prog.TotalModules)
+
+	// Propeller pipeline.
+	prop, err := core.Optimize(p, train, opts)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: propeller: %w", cfg.Spec.Name, err)
+	}
+	res.Propeller = prop
+	res.PM = prop.Metadata.Binary
+	res.PO = prop.Optimized.Binary
+	res.PropLink = prop.Optimized.Link
+	res.WPAStats = prop.WPAStats
+
+	// BOLT arm: BM build (relocations retained) + rewrite.
+	if cfg.RunBolt {
+		bm, err := buildBM(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.BM = bm
+		convMem, err := bolt.ConvertProfile(bm, prop.Profile)
+		if err != nil {
+			return nil, err
+		}
+		res.BoltConvertMem = convMem
+		bOpts := bolt.Heavy()
+		if cfg.BoltOptions != nil {
+			bOpts = *cfg.BoltOptions
+		}
+		bo, bStats, err := bolt.Optimize(bm, prop.Profile, bOpts)
+		if err != nil {
+			return nil, fmt.Errorf("eval %s: bolt: %w", cfg.Spec.Name, err)
+		}
+		res.BO = bo
+		res.BoltStats = bStats
+	}
+
+	// Measurement runs.
+	res.BaseRun, err = measure(res.Base, cfg, res)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: baseline run: %w", cfg.Spec.Name, err)
+	}
+	res.PORun, err = measure(res.PO, cfg, res)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: propeller run: %w", cfg.Spec.Name, err)
+	}
+	if res.PORun.Exit != res.BaseRun.Exit {
+		return nil, fmt.Errorf("eval %s: propeller changed the checksum: %d vs %d",
+			cfg.Spec.Name, res.PORun.Exit, res.BaseRun.Exit)
+	}
+	if res.BO != nil {
+		run, err := measure(res.BO, cfg, res)
+		switch {
+		case err != nil:
+			res.BOCrash = err
+		case run.Exit == -99:
+			res.BOCrash = fmt.Errorf("startup integrity self-check failed (exit -99)")
+		case run.Exit != res.BaseRun.Exit:
+			res.BOCrash = fmt.Errorf("wrong checksum %d (want %d)", run.Exit, res.BaseRun.Exit)
+			res.BORun = run
+		default:
+			res.BORun = run
+		}
+	}
+	return res, nil
+}
+
+func slotsOf(opts core.Options) int {
+	if opts.Executor != nil {
+		return opts.Executor.Slots
+	}
+	return buildsys.DistributedSlots
+}
+
+func buildBM(p *core.Program, opts core.Options) (*objfile.Binary, error) {
+	build, err := core.BuildBaseline(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Relink the same objects with relocations retained (--emit-relocs).
+	bin, _, err := linker.Link(build.Objects, linker.Config{
+		Entry:        "main",
+		RetainRelocs: true,
+		HugePages:    opts.HugePages,
+	})
+	return bin, err
+}
+
+func measure(bin *objfile.Binary, cfg Config, res *Result) (*Run, error) {
+	mach, err := sim.Load(bin)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{MaxInsts: cfg.evalInsts()}
+	var heat *heatmap.Recorder
+	if cfg.Heatmaps {
+		rows, cols := cfg.HeatRows, cfg.HeatCols
+		if rows == 0 {
+			rows = 64
+		}
+		if cols == 0 {
+			cols = 80
+		}
+		heat = heatmap.NewRecorder(bin.TextBase, int64(len(bin.Text)), rows, cols, res.BaseRun.expectInsts(cfg))
+		simCfg.Heatmap = heat
+	}
+	r, err := mach.Run(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Exit: r.Exit, Insts: r.Insts, Cycles: r.Cycles, Counters: r.Counters, Heat: heat}, nil
+}
+
+// expectInsts sizes heatmap time buckets off the baseline run when known.
+func (r *Run) expectInsts(cfg Config) uint64 {
+	if r != nil && r.Insts > 0 {
+		return r.Insts
+	}
+	return cfg.evalInsts() / 20
+}
+
+func countFuncs(p *core.Program) int {
+	n := 0
+	for _, m := range p.Modules {
+		n += len(m.Funcs)
+	}
+	return n
+}
+
+// Speedup returns the percentage cycle improvement of run b over a.
+func Speedup(base, opt *Run) float64 {
+	if base == nil || opt == nil || base.Cycles == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(opt.Cycles)/float64(base.Cycles))
+}
+
+// CounterRatio returns opt/base for a Table-4 counter label, in percent.
+func CounterRatio(base, opt *Run, label string) float64 {
+	b := base.Counters.Map()[label]
+	o := opt.Counters.Map()[label]
+	if b == 0 {
+		return 100
+	}
+	return 100 * float64(o) / float64(b)
+}

@@ -1,0 +1,25 @@
+package eval
+
+import (
+	"os"
+	"propeller/internal/workload"
+	"testing"
+)
+
+func TestWSCShape(t *testing.T) {
+	if os.Getenv("WSC") == "" {
+		t.Skip("manual")
+	}
+	specs := []workload.Spec{workload.MySQL(), workload.Spanner(), workload.Search()}
+	var results []*Result
+	for _, s := range specs {
+		res, err := RunWorkload(Config{Spec: s, RunBolt: true})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		results = append(results, res)
+	}
+	rep := &Report{Results: results}
+	t.Log("\n" + rep.Summary())
+	rep.All(os.Stderr)
+}

@@ -1,0 +1,248 @@
+package exttsp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// diamondGraph: 0 -> 1 (hot) / 2 (cold) -> 3.
+func diamondGraph() *Graph {
+	return &Graph{
+		Nodes: []Node{{Size: 16, Count: 100}, {Size: 16, Count: 90}, {Size: 16, Count: 10}, {Size: 16, Count: 100}},
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Weight: 90},
+			{Src: 0, Dst: 2, Weight: 10},
+			{Src: 1, Dst: 3, Weight: 90},
+			{Src: 2, Dst: 3, Weight: 10},
+		},
+	}
+}
+
+func checkPermutation(t *testing.T, order []int, n int) {
+	t.Helper()
+	if len(order) != n {
+		t.Fatalf("order has %d nodes, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("order %v is not a permutation of 0..%d", order, n-1)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDiamondPrefersHotPath(t *testing.T) {
+	g := diamondGraph()
+	for _, useHeap := range []bool{false, true} {
+		order, err := Layout(g, Options{ForcedFirst: 0, UseHeap: useHeap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPermutation(t, order, 4)
+		if order[0] != 0 {
+			t.Errorf("heap=%v: entry not first: %v", useHeap, order)
+		}
+		// The hot chain 0-1-3 must be contiguous.
+		pos := map[int]int{}
+		for i, v := range order {
+			pos[v] = i
+		}
+		if pos[1] != pos[0]+1 || pos[3] != pos[1]+1 {
+			t.Errorf("heap=%v: hot path not contiguous: %v", useHeap, order)
+		}
+	}
+}
+
+func TestScoreRewardsFallthrough(t *testing.T) {
+	g := diamondGraph()
+	hot := Score(g, []int{0, 1, 3, 2})
+	cold := Score(g, []int{0, 2, 3, 1})
+	if hot <= cold {
+		t.Errorf("hot layout score %f <= cold layout score %f", hot, cold)
+	}
+}
+
+func TestEdgeGainModel(t *testing.T) {
+	if g := edgeGain(100, 64, 64); g != 100*FallthroughWeight {
+		t.Errorf("fallthrough gain = %f", g)
+	}
+	if g := edgeGain(100, 64, 64+512); g <= 0 || g >= 100*ForwardWeight {
+		t.Errorf("forward gain = %f out of (0, %f)", g, 100*ForwardWeight)
+	}
+	if g := edgeGain(100, 64, 64+ForwardWindow); g != 0 {
+		t.Errorf("out-of-window forward gain = %f", g)
+	}
+	if g := edgeGain(100, 640, 320); g <= 0 || g >= 100*BackwardWeight {
+		t.Errorf("backward gain = %f out of (0, %f)", g, 100*BackwardWeight)
+	}
+	if g := edgeGain(100, BackwardWindow+64, 64); g != 0 {
+		t.Errorf("out-of-window backward gain = %f", g)
+	}
+	// Nearer forward targets gain more.
+	near := edgeGain(100, 0, 64)
+	far := edgeGain(100, 0, 512)
+	if near <= far {
+		t.Errorf("near gain %f <= far gain %f", near, far)
+	}
+}
+
+func TestForcedFirstRespected(t *testing.T) {
+	// Edge into the entry would tempt the optimizer to put 1 before 0.
+	g := &Graph{
+		Nodes: []Node{{Size: 8, Count: 10}, {Size: 8, Count: 1000}},
+		Edges: []Edge{{Src: 1, Dst: 0, Weight: 1000}},
+	}
+	for _, useHeap := range []bool{false, true} {
+		order, err := Layout(g, Options{ForcedFirst: 0, UseHeap: useHeap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if order[0] != 0 {
+			t.Errorf("heap=%v: forced-first violated: %v", useHeap, order)
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	order, err := Layout(&Graph{}, Options{ForcedFirst: -1})
+	if err != nil || len(order) != 0 {
+		t.Errorf("empty graph: %v, %v", order, err)
+	}
+	g := &Graph{Nodes: []Node{{Size: 4, Count: 1}}}
+	order, err = Layout(g, Options{ForcedFirst: 0})
+	if err != nil || !reflect.DeepEqual(order, []int{0}) {
+		t.Errorf("singleton: %v, %v", order, err)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	g := &Graph{Nodes: []Node{{Size: 4}}, Edges: []Edge{{Src: 0, Dst: 5, Weight: 1}}}
+	if _, err := Layout(g, Options{ForcedFirst: -1}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := Layout(g, Options{ForcedFirst: 9}); err == nil {
+		t.Error("out-of-range forced-first accepted")
+	}
+}
+
+func randGraph(rng *rand.Rand, n int) *Graph {
+	g := &Graph{Nodes: make([]Node, n)}
+	for i := range g.Nodes {
+		g.Nodes[i] = Node{Size: int64(8 + rng.Intn(64)), Count: uint64(rng.Intn(1000))}
+	}
+	// Chain-ish CFG plus random extra edges.
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, Edge{Src: i, Dst: i + 1, Weight: uint64(1 + rng.Intn(100))})
+	}
+	extra := n / 2
+	for i := 0; i < extra; i++ {
+		g.Edges = append(g.Edges, Edge{Src: rng.Intn(n), Dst: rng.Intn(n), Weight: uint64(rng.Intn(50))})
+	}
+	return g
+}
+
+// Property: both retrieval strategies produce valid permutations whose
+// score is at least the score of the identity layout (the merge process
+// starts from singletons and only applies positive-gain merges, and the
+// identity order is reachable, so near-equality is expected; we assert
+// it is not dramatically worse).
+func TestLayoutQualityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randGraph(rng, n)
+		identity := make([]int, n)
+		for i := range identity {
+			identity[i] = i
+		}
+		idScore := Score(g, identity)
+		for _, useHeap := range []bool{false, true} {
+			order, err := Layout(g, Options{ForcedFirst: 0, UseHeap: useHeap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPermutation(t, order, n)
+			if order[0] != 0 {
+				t.Fatalf("trial %d heap=%v: entry not first", trial, useHeap)
+			}
+			s := Score(g, order)
+			if s < 0.5*idScore {
+				t.Errorf("trial %d heap=%v: score %f far below identity %f", trial, useHeap, s, idScore)
+			}
+		}
+	}
+}
+
+// The heap-based retrieval must produce scores comparable to the naive
+// exhaustive rescan (they can differ on ties, but not systematically).
+func TestHeapMatchesNaiveQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var naiveTotal, heapTotal float64
+	for trial := 0; trial < 20; trial++ {
+		g := randGraph(rng, 2+rng.Intn(30))
+		on, err := Layout(g, Options{ForcedFirst: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oh, err := Layout(g, Options{ForcedFirst: 0, UseHeap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveTotal += Score(g, on)
+		heapTotal += Score(g, oh)
+	}
+	if heapTotal < 0.9*naiveTotal {
+		t.Errorf("heap retrieval quality %.1f well below naive %.1f", heapTotal, naiveTotal)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randGraph(rng, 25)
+	for _, useHeap := range []bool{false, true} {
+		a, _ := Layout(g, Options{ForcedFirst: 0, UseHeap: useHeap})
+		b, _ := Layout(g, Options{ForcedFirst: 0, UseHeap: useHeap})
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("heap=%v: nondeterministic layout", useHeap)
+		}
+	}
+}
+
+func TestColdChainsOrderedByDensity(t *testing.T) {
+	// Disconnected nodes: layout must order them by count/size density.
+	g := &Graph{
+		Nodes: []Node{
+			{Size: 8, Count: 100}, // entry
+			{Size: 8, Count: 1},   // cold
+			{Size: 8, Count: 50},  // warm
+		},
+	}
+	order, err := Layout(g, Options{ForcedFirst: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 2, 1}) {
+		t.Errorf("density ordering: got %v, want [0 2 1]", order)
+	}
+}
+
+func TestMaxSplitChainBoundsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randGraph(rng, 60)
+	// A tiny split bound must still produce a valid permutation; quality
+	// may differ from the default, but never validity.
+	order, err := Layout(g, Options{ForcedFirst: 0, MaxSplitChain: 1, UseHeap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, order, 60)
+	def, err := Layout(g, Options{ForcedFirst: 0, UseHeap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Score(g, def) < Score(g, order) {
+		t.Log("default split bound scored lower than restricted; acceptable but unusual")
+	}
+}

@@ -1,0 +1,173 @@
+// Package heatmap records instruction-access heat maps: a matrix of fetch
+// counts bucketed by (time, text offset), reproducing the paper's Figure 7
+// whole-binary instruction access maps.
+package heatmap
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Recorder accumulates fetch events into a fixed-size matrix.
+type Recorder struct {
+	base       uint64 // text base address
+	addrBucket uint64 // bytes per address bucket (row)
+	timeBucket uint64 // instructions per time bucket (column)
+	rows       int
+	cols       int
+	counts     []uint64 // rows x cols
+	maxCol     int
+}
+
+// NewRecorder creates a recorder covering textSize bytes from base, with
+// the given matrix resolution.
+func NewRecorder(base uint64, textSize int64, rows, cols int, expectedInsts uint64) *Recorder {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	ab := (uint64(textSize) + uint64(rows) - 1) / uint64(rows)
+	if ab == 0 {
+		ab = 1
+	}
+	tb := expectedInsts / uint64(cols)
+	if tb == 0 {
+		tb = 1
+	}
+	return &Recorder{
+		base: base, addrBucket: ab, timeBucket: tb,
+		rows: rows, cols: cols,
+		counts: make([]uint64, rows*cols),
+	}
+}
+
+// Touch records a fetch of addr at instruction-time t.
+func (r *Recorder) Touch(addr uint64, t uint64) {
+	if addr < r.base {
+		return
+	}
+	row := int((addr - r.base) / r.addrBucket)
+	col := int(t / r.timeBucket)
+	if row >= r.rows {
+		return
+	}
+	if col >= r.cols {
+		col = r.cols - 1
+	}
+	if col > r.maxCol {
+		r.maxCol = col
+	}
+	r.counts[row*r.cols+col]++
+}
+
+// At returns the count in matrix cell (row, col).
+func (r *Recorder) At(row, col int) uint64 { return r.counts[row*r.cols+col] }
+
+// Dims returns the matrix dimensions.
+func (r *Recorder) Dims() (rows, cols int) { return r.rows, r.cols }
+
+// TouchedRows returns how many address buckets saw any access: the measure
+// of code footprint spread the Fig-7 bands visualize.
+func (r *Recorder) TouchedRows() int {
+	n := 0
+	for row := 0; row < r.rows; row++ {
+		for col := 0; col < r.cols; col++ {
+			if r.counts[row*r.cols+col] > 0 {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// HotSpan returns the address span (in bytes) between the lowest and
+// highest touched buckets; tight layouts yield small spans.
+func (r *Recorder) HotSpan() int64 {
+	lo, hi := -1, -1
+	for row := 0; row < r.rows; row++ {
+		touched := false
+		for col := 0; col < r.cols; col++ {
+			if r.counts[row*r.cols+col] > 0 {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			if lo < 0 {
+				lo = row
+			}
+			hi = row
+		}
+	}
+	if lo < 0 {
+		return 0
+	}
+	return int64(hi-lo+1) * int64(r.addrBucket)
+}
+
+// WriteCSV emits the matrix as CSV: one row per address bucket (ascending
+// offset), one column per time bucket.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cols := r.maxCol + 1
+	for row := 0; row < r.rows; row++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d", uint64(row)*r.addrBucket)
+		for col := 0; col < cols; col++ {
+			fmt.Fprintf(&sb, ",%d", r.counts[row*r.cols+col])
+		}
+		sb.WriteByte('\n')
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws the heat map as text art (rows = address, columns =
+// time), darkest glyph for the hottest cells. Rows with no accesses at all
+// are compressed when compact is true.
+func (r *Recorder) RenderASCII(w io.Writer, compact bool) error {
+	glyphs := []byte(" .:-=+*#%@")
+	var max uint64
+	for _, c := range r.counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	cols := r.maxCol + 1
+	skipped := 0
+	for row := r.rows - 1; row >= 0; row-- { // high offsets on top, like Fig 7
+		empty := true
+		line := make([]byte, cols)
+		for col := 0; col < cols; col++ {
+			c := r.counts[row*r.cols+col]
+			if c > 0 {
+				empty = false
+			}
+			idx := int(uint64(len(glyphs)-1) * c / max)
+			line[col] = glyphs[idx]
+		}
+		if empty && compact {
+			skipped++
+			continue
+		}
+		if skipped > 0 {
+			fmt.Fprintf(w, "      ... %d empty rows ...\n", skipped)
+			skipped = 0
+		}
+		if _, err := fmt.Fprintf(w, "%7.2fMB |%s|\n", float64(uint64(row)*r.addrBucket)/(1<<20), line); err != nil {
+			return err
+		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "      ... %d empty rows ...\n", skipped)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package heatmap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTouchAndAt(t *testing.T) {
+	r := NewRecorder(0x1000, 1024, 16, 10, 1000)
+	r.Touch(0x1000, 0)   // row 0, col 0
+	r.Touch(0x1000, 0)   // again
+	r.Touch(0x13FF, 999) // last row, last col
+	if got := r.At(0, 0); got != 2 {
+		t.Errorf("At(0,0) = %d, want 2", got)
+	}
+	rows, cols := r.Dims()
+	if rows != 16 || cols != 10 {
+		t.Errorf("dims = %d,%d", rows, cols)
+	}
+	if r.At(15, 9) != 1 {
+		t.Errorf("corner cell = %d", r.At(15, 9))
+	}
+}
+
+func TestTouchIgnoresOutOfRange(t *testing.T) {
+	r := NewRecorder(0x1000, 64, 4, 4, 100)
+	r.Touch(0x0F00, 0) // below base
+	r.Touch(0x2000, 0) // beyond text
+	if r.TouchedRows() != 0 {
+		t.Error("out-of-range touch recorded")
+	}
+}
+
+func TestTimeOverflowClampsToLastColumn(t *testing.T) {
+	r := NewRecorder(0, 64, 2, 4, 100)
+	r.Touch(0, 1_000_000) // way past expected insts
+	if r.At(0, 3) != 1 {
+		t.Error("overflowing time not clamped to last column")
+	}
+}
+
+func TestTouchedRowsAndHotSpan(t *testing.T) {
+	r := NewRecorder(0, 1000, 10, 4, 100) // 100 bytes per row
+	r.Touch(50, 0)                        // row 0
+	r.Touch(950, 0)                       // row 9
+	if got := r.TouchedRows(); got != 2 {
+		t.Errorf("TouchedRows = %d, want 2", got)
+	}
+	if got := r.HotSpan(); got != 1000 {
+		t.Errorf("HotSpan = %d, want 1000 (rows 0..9)", got)
+	}
+	tight := NewRecorder(0, 1000, 10, 4, 100)
+	tight.Touch(50, 0)
+	tight.Touch(150, 0)
+	if got := tight.HotSpan(); got != 200 {
+		t.Errorf("tight HotSpan = %d, want 200", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(0, 200, 2, 3, 30)
+	r.Touch(0, 0)
+	r.Touch(100, 25)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d CSV rows, want 2: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "0,1") {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	r := NewRecorder(0, 4096, 8, 8, 100)
+	r.Touch(0, 0)
+	r.Touch(4000, 50)
+	var buf bytes.Buffer
+	if err := r.RenderASCII(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "@") {
+		t.Errorf("no hot glyph in output:\n%s", out)
+	}
+	if !strings.Contains(out, "empty rows") {
+		t.Errorf("compact mode did not fold empty rows:\n%s", out)
+	}
+	// Empty map renders without dividing by zero.
+	empty := NewRecorder(0, 64, 2, 2, 10)
+	if err := empty.RenderASCII(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateDimensions(t *testing.T) {
+	r := NewRecorder(0, 0, 0, 0, 0)
+	r.Touch(0, 0) // must not panic
+	rows, cols := r.Dims()
+	if rows < 1 || cols < 1 {
+		t.Errorf("dims = %d,%d", rows, cols)
+	}
+}

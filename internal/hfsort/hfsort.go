@@ -1,0 +1,140 @@
+// Package hfsort implements the C³ ("call-chain clustering") function
+// ordering algorithm used by BOLT's -reorder-functions=hfsort option and by
+// Propeller's global function layout: functions frequently calling each
+// other are clustered so they share pages and cache lines.
+//
+// The algorithm (Ottoni & Maher, CGO'17):
+//
+//  1. Every function starts in its own cluster.
+//  2. Functions are visited in decreasing hotness. Each function's cluster
+//     is appended to the cluster of its hottest caller, unless the merged
+//     cluster would exceed the page-size budget.
+//  3. Final clusters are sorted by density (samples per byte), hottest
+//     first, and concatenated.
+package hfsort
+
+import "sort"
+
+// Func describes one function to place.
+type Func struct {
+	Name    string
+	Size    int64
+	Samples uint64
+}
+
+// Call is a weighted caller→callee arc (indices into the Funcs slice).
+type Call struct {
+	Caller, Callee int
+	Weight         uint64
+}
+
+// DefaultMaxClusterSize is the cluster budget: one 2M huge page, the unit
+// the iTLB analysis of §5.5 cares about.
+const DefaultMaxClusterSize = 2 << 20
+
+// Order returns a permutation of function indices: the layout order.
+// maxClusterSize <= 0 selects DefaultMaxClusterSize.
+func Order(funcs []Func, calls []Call, maxClusterSize int64) []int {
+	if maxClusterSize <= 0 {
+		maxClusterSize = DefaultMaxClusterSize
+	}
+	n := len(funcs)
+	type cluster struct {
+		funcs   []int
+		size    int64
+		samples uint64
+		dead    bool
+	}
+	clusters := make([]*cluster, n)
+	owner := make([]int, n)
+	for i := range funcs {
+		clusters[i] = &cluster{funcs: []int{i}, size: funcs[i].Size, samples: funcs[i].Samples}
+		owner[i] = i
+	}
+
+	// hottest caller per callee.
+	type arcAgg struct {
+		caller int
+		weight uint64
+	}
+	hottest := make(map[int]arcAgg)
+	inWeight := make(map[[2]int]uint64)
+	for _, c := range calls {
+		if c.Caller < 0 || c.Caller >= n || c.Callee < 0 || c.Callee >= n || c.Caller == c.Callee {
+			continue
+		}
+		inWeight[[2]int{c.Caller, c.Callee}] += c.Weight
+	}
+	for key, w := range inWeight {
+		caller, callee := key[0], key[1]
+		cur, ok := hottest[callee]
+		if !ok || w > cur.weight || (w == cur.weight && caller < cur.caller) {
+			hottest[callee] = arcAgg{caller: caller, weight: w}
+		}
+	}
+
+	// Visit functions by decreasing hotness (stable on name for ties).
+	byHot := make([]int, n)
+	for i := range byHot {
+		byHot[i] = i
+	}
+	sort.SliceStable(byHot, func(a, b int) bool {
+		fa, fb := funcs[byHot[a]], funcs[byHot[b]]
+		if fa.Samples != fb.Samples {
+			return fa.Samples > fb.Samples
+		}
+		return fa.Name < fb.Name
+	})
+
+	for _, fi := range byHot {
+		arc, ok := hottest[fi]
+		if !ok || arc.weight == 0 {
+			continue
+		}
+		src := clusters[owner[fi]]
+		dst := clusters[owner[arc.caller]]
+		if src == dst {
+			continue
+		}
+		// The callee's cluster must start with the callee: appending keeps
+		// the call target right after its caller's cluster.
+		if src.funcs[0] != fi {
+			continue
+		}
+		if dst.size+src.size > maxClusterSize {
+			continue
+		}
+		dst.funcs = append(dst.funcs, src.funcs...)
+		dst.size += src.size
+		dst.samples += src.samples
+		src.dead = true
+		for _, f := range src.funcs {
+			owner[f] = owner[arc.caller]
+		}
+	}
+
+	var live []*cluster
+	for _, c := range clusters {
+		if !c.dead {
+			live = append(live, c)
+		}
+	}
+	density := func(c *cluster) float64 {
+		if c.size == 0 {
+			return float64(c.samples)
+		}
+		return float64(c.samples) / float64(c.size)
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		di, dj := density(live[i]), density(live[j])
+		if di != dj {
+			return di > dj
+		}
+		return live[i].funcs[0] < live[j].funcs[0]
+	})
+	out := make([]int, 0, n)
+	for _, c := range live {
+		out = append(out, c.funcs...)
+	}
+	return out
+}

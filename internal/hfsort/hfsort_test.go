@@ -1,0 +1,126 @@
+package hfsort
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClustersCallerCallee(t *testing.T) {
+	funcs := []Func{
+		{Name: "main", Size: 100, Samples: 1000},
+		{Name: "hot_callee", Size: 100, Samples: 900},
+		{Name: "unrelated", Size: 100, Samples: 500},
+		{Name: "cold", Size: 100, Samples: 1},
+	}
+	calls := []Call{
+		{Caller: 0, Callee: 1, Weight: 900},
+		{Caller: 2, Callee: 3, Weight: 1},
+	}
+	order := Order(funcs, calls, 0)
+	pos := map[int]int{}
+	for i, f := range order {
+		pos[f] = i
+	}
+	if pos[1] != pos[0]+1 {
+		t.Errorf("hot callee not adjacent to caller: %v", order)
+	}
+	if pos[3] < pos[2] {
+		t.Errorf("callee placed before caller: %v", order)
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	funcs := []Func{{Name: "a", Size: 10}, {Name: "b", Size: 10}, {Name: "c", Size: 10}}
+	order := Order(funcs, nil, 0)
+	if len(order) != 3 {
+		t.Fatalf("order %v", order)
+	}
+	seen := map[int]bool{}
+	for _, f := range order {
+		if seen[f] {
+			t.Fatalf("duplicate in %v", order)
+		}
+		seen[f] = true
+	}
+}
+
+func TestClusterSizeBudget(t *testing.T) {
+	funcs := []Func{
+		{Name: "a", Size: 600, Samples: 100},
+		{Name: "b", Size: 600, Samples: 90},
+	}
+	calls := []Call{{Caller: 0, Callee: 1, Weight: 90}}
+	// Budget too small to merge: both survive as singleton clusters,
+	// ordered by density.
+	order := Order(funcs, calls, 1000)
+	if !reflect.DeepEqual(order, []int{0, 1}) {
+		t.Errorf("budget-limited order = %v", order)
+	}
+	// Ample budget: merged.
+	order = Order(funcs, calls, 10000)
+	if !reflect.DeepEqual(order, []int{0, 1}) {
+		t.Errorf("merged order = %v", order)
+	}
+}
+
+func TestHottestCallerWins(t *testing.T) {
+	funcs := []Func{
+		{Name: "rare_caller", Size: 50, Samples: 10},
+		{Name: "hot_caller", Size: 50, Samples: 800},
+		{Name: "callee", Size: 50, Samples: 700},
+	}
+	calls := []Call{
+		{Caller: 0, Callee: 2, Weight: 5},
+		{Caller: 1, Callee: 2, Weight: 700},
+	}
+	order := Order(funcs, calls, 0)
+	pos := map[int]int{}
+	for i, f := range order {
+		pos[f] = i
+	}
+	if pos[2] != pos[1]+1 {
+		t.Errorf("callee not adjacent to its hottest caller: %v", order)
+	}
+}
+
+func TestDensityOrdering(t *testing.T) {
+	funcs := []Func{
+		{Name: "big_warm", Size: 1000, Samples: 100}, // density 0.1
+		{Name: "small_hot", Size: 10, Samples: 50},   // density 5
+		{Name: "cold", Size: 10, Samples: 0},
+	}
+	order := Order(funcs, nil, 0)
+	if !reflect.DeepEqual(order, []int{1, 0, 2}) {
+		t.Errorf("density order = %v, want [1 0 2]", order)
+	}
+}
+
+func TestIgnoresBadArcs(t *testing.T) {
+	funcs := []Func{{Name: "a", Size: 10, Samples: 5}}
+	calls := []Call{
+		{Caller: 0, Callee: 0, Weight: 10}, // self
+		{Caller: 0, Callee: 9, Weight: 10}, // out of range
+		{Caller: -1, Callee: 0, Weight: 10},
+	}
+	order := Order(funcs, calls, 0)
+	if !reflect.DeepEqual(order, []int{0}) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	funcs := []Func{
+		{Name: "a", Size: 10, Samples: 5},
+		{Name: "b", Size: 10, Samples: 5},
+		{Name: "c", Size: 10, Samples: 5},
+	}
+	calls := []Call{
+		{Caller: 0, Callee: 1, Weight: 3},
+		{Caller: 2, Callee: 1, Weight: 3}, // tie: lower caller index wins
+	}
+	a := Order(funcs, calls, 0)
+	b := Order(funcs, calls, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("nondeterministic")
+	}
+}

@@ -1,0 +1,98 @@
+package integration_test
+
+import (
+	"testing"
+
+	"propeller/internal/codegen"
+	"propeller/internal/ir"
+	"propeller/internal/layoutfile"
+	"propeller/internal/linker"
+	"propeller/internal/testprog"
+)
+
+// §4.3: debug builds carry per-fragment range descriptors that stay
+// truthful when basic block sections scatter a function, and §5.3's
+// observation about relocation-retaining debug builds reproduces.
+func TestDebugRangesFollowFragments(t *testing.T) {
+	mods := []*ir.Module{testprog.HotCold(100)}
+	d := layoutfile.Directives{"main": {Clusters: [][]int{{0, 1, 3, 4}}}}
+	co := codegen.Options{Mode: codegen.ModeList, Directives: d, DebugInfo: true}
+	order := &layoutfile.SymbolOrder{Symbols: []string{"main", "main.cold"}}
+	bin, _, res := buildAndRun(t, mods, co, linker.Config{Order: order})
+	if res.Exit == 0 {
+		t.Fatal("program did not run")
+	}
+	if len(bin.Debug) == 0 {
+		t.Fatal("debug build produced no debug metadata")
+	}
+	ranges, err := codegen.DecodeDebugRanges(bin.Debug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySym := map[string]codegen.DebugRange{}
+	for _, r := range ranges {
+		bySym[r.Sym] = r
+	}
+	for _, name := range []string{"main", "main.cold"} {
+		r, ok := bySym[name]
+		if !ok {
+			t.Fatalf("no debug range for %s (got %v)", name, bySym)
+		}
+		sym, ok := bin.SymbolByName(name)
+		if !ok {
+			t.Fatal("missing symbol")
+		}
+		if r.Start != sym.Addr {
+			t.Errorf("%s: range start %#x != symbol %#x", name, r.Start, sym.Addr)
+		}
+		if r.End < r.Start || r.End > bin.TextEnd() {
+			t.Errorf("%s: bad range end %#x", name, r.End)
+		}
+	}
+	// The two fragments are discontiguous yet both described: the
+	// DW_AT_ranges property.
+	if bySym["main"].End == bySym["main.cold"].Start && bySym["main.cold"].Start != 0 {
+		t.Log("fragments happen to be adjacent; ordering file should prevent this")
+	}
+}
+
+// A debug BM build (relocations retained) carries far more .rela bytes
+// than a stripped-style build — the §5.3 point that BOLT's relocation
+// requirement is prohibitive for debug binaries.
+func TestDebugRelocationGrowth(t *testing.T) {
+	mods := []*ir.Module{testprog.HotCold(100)}
+	plain, _, _ := buildAndRun(t, mods, codegen.Options{}, linker.Config{RetainRelocs: true})
+	debug, _, _ := buildAndRun(t, mods, codegen.Options{DebugInfo: true}, linker.Config{RetainRelocs: true})
+	if debug.RelaBytes <= plain.RelaBytes {
+		t.Errorf("debug build did not grow retained relocations: %d vs %d",
+			debug.RelaBytes, plain.RelaBytes)
+	}
+	if len(debug.Debug) == 0 {
+		t.Error("no debug blob")
+	}
+	// Propeller metadata remains strippable even with debug info present.
+	stripped := debug.Clone()
+	stripped.Strip()
+	if stripped.RelaBytes != 0 {
+		t.Error("Strip left relocations")
+	}
+}
+
+// More fragments (ModeAll) mean proportionally more debug records (§4.3's
+// cost argument for clustering).
+func TestDebugCostScalesWithFragments(t *testing.T) {
+	mods := []*ir.Module{testprog.SumLoop(5)}
+	one, _, _ := buildAndRun(t, mods, codegen.Options{DebugInfo: true}, linker.Config{})
+	all, _, _ := buildAndRun(t, mods, codegen.Options{Mode: codegen.ModeAll, DebugInfo: true}, linker.Config{})
+	r1, err := codegen.DecodeDebugRanges(one.Debug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAll, err := codegen.DecodeDebugRanges(all.Debug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rAll) <= len(r1) {
+		t.Errorf("per-block sections did not add debug records: %d vs %d", len(rAll), len(r1))
+	}
+}

@@ -1,0 +1,174 @@
+package integration_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"propeller/internal/bolt"
+	"propeller/internal/codegen"
+	"propeller/internal/core"
+	"propeller/internal/ir"
+	"propeller/internal/layoutfile"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/opt"
+	"propeller/internal/sim"
+	"propeller/internal/workload"
+)
+
+// Differential testing: the same generated program must halt with the same
+// checksum under every layout the toolchain can produce. Any divergence is
+// a miscompile in codegen, the linker, the optimizer, or the rewriters.
+
+func buildModules(t *testing.T, mods []*ir.Module, co codegen.Options, lc linker.Config) *objfile.Binary {
+	t.Helper()
+	var objs []*objfile.Object
+	for _, m := range mods {
+		obj, err := codegen.Compile(m, co)
+		if err != nil {
+			t.Fatalf("compile %s: %v", m.Name, err)
+		}
+		objs = append(objs, obj)
+	}
+	bin, _, err := linker.Link(objs, lc)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return bin
+}
+
+func exitOf(t *testing.T, bin *objfile.Binary) int64 {
+	t.Helper()
+	mach, err := sim.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: 100_000_000, DisableUarch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Exit
+}
+
+func TestDifferentialLayouts(t *testing.T) {
+	for seed := int64(100); seed < 104; seed++ {
+		spec := workload.Tiny()
+		spec.Seed = seed
+		spec.Requests = 1500
+		spec.Integrity = seed%2 == 0 // exercise both shapes
+		prog, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods := prog.Core.Modules
+
+		want := exitOf(t, buildModules(t, mods, codegen.Options{}, linker.Config{}))
+
+		variants := []struct {
+			name string
+			co   codegen.Options
+			lc   linker.Config
+		}{
+			{"labels", codegen.Options{Mode: codegen.ModeLabels}, linker.Config{EmitAddrMap: true}},
+			{"all-sections", codegen.Options{Mode: codegen.ModeAll}, linker.Config{}},
+			{"all-no-relax", codegen.Options{Mode: codegen.ModeAll}, linker.Config{NoRelax: true}},
+			{"no-data-in-code", codegen.Options{DataInCode: false}, linker.Config{}},
+			{"data-in-code", codegen.Options{DataInCode: true}, linker.Config{}},
+			{"heuristic-split", codegen.Options{HeuristicSplit: true}, linker.Config{}},
+			{"hugepages", codegen.Options{}, linker.Config{HugePages: true}},
+			{"relocs", codegen.Options{}, linker.Config{RetainRelocs: true}},
+		}
+		for _, v := range variants {
+			got := exitOf(t, buildModules(t, mods, v.co, v.lc))
+			if got != want {
+				t.Errorf("seed %d variant %s: exit %d, want %d", seed, v.name, got, want)
+			}
+		}
+
+		// Random symbol orders over per-block sections: the harshest
+		// layout shuffle the linker supports.
+		objAll, err := codegen.Compile(mods[0], codegen.Options{Mode: codegen.ModeAll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var syms []string
+		for _, s := range objAll.Symbols {
+			if s.Kind == objfile.SymFunc || s.Kind == objfile.SymFuncPart {
+				syms = append(syms, s.Name)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 3; trial++ {
+			shuffled := append([]string(nil), syms...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			got := exitOf(t, buildModules(t, mods, codegen.Options{Mode: codegen.ModeAll},
+				linker.Config{Order: &layoutfile.SymbolOrder{Symbols: shuffled}}))
+			if got != want {
+				t.Fatalf("seed %d shuffle %d: exit %d, want %d", seed, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialOptimizerPasses(t *testing.T) {
+	for seed := int64(200); seed < 204; seed++ {
+		spec := workload.Tiny()
+		spec.Seed = seed
+		spec.Requests = 1500
+		prog, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exitOf(t, buildModules(t, prog.Core.Modules, codegen.Options{}, linker.Config{}))
+		optimized := make([]*ir.Module, len(prog.Core.Modules))
+		for i, m := range prog.Core.Modules {
+			optimized[i] = ir.CloneModule(m)
+			if _, err := opt.Optimize(optimized[i]); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		got := exitOf(t, buildModules(t, optimized, codegen.Options{}, linker.Config{}))
+		if got != want {
+			t.Errorf("seed %d: middle end changed checksum: %d vs %d", seed, got, want)
+		}
+	}
+}
+
+func TestDifferentialFullPipelines(t *testing.T) {
+	for seed := int64(300); seed < 302; seed++ {
+		spec := workload.Tiny()
+		spec.Seed = seed
+		spec.Requests = 2000
+		spec.Integrity = false // BOLT must run to completion here
+		prog, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train := core.RunSpec{MaxInsts: 50_000_000, LBRPeriod: 211}
+		res, err := core.Optimize(prog.Core, train, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exitOf(t, res.Metadata.Binary)
+		if got := exitOf(t, res.Optimized.Binary); got != want {
+			t.Errorf("seed %d: propeller changed checksum", seed)
+		}
+		// BOLT on a relocation build of the same modules.
+		bm := buildModules(t, prog.Core.Modules, codegen.Options{}, linker.Config{RetainRelocs: true})
+		mach, err := sim.Load(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bmRun, err := mach.Run(sim.Config{MaxInsts: 100_000_000, LBRPeriod: 101})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bo, _, err := bolt.Optimize(bm, bmRun.Profile, bolt.Heavy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := exitOf(t, bo); got != bmRun.Exit {
+			t.Errorf("seed %d: BOLT changed checksum: %d vs %d", seed, got, bmRun.Exit)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package ir
+
+// CloneFunc returns a deep copy of f. Block IDs are preserved, so profile
+// mappings and cluster directives remain valid against the clone. The clone
+// is what ThinLTO importing and the Phase-4 rebuild work on, leaving cached
+// IR untouched.
+func CloneFunc(f *Func) *Func {
+	nf := &Func{
+		Name:        f.Name,
+		Module:      f.Module,
+		Linkage:     f.Linkage,
+		NumParams:   f.NumParams,
+		HasEH:       f.HasEH,
+		Imported:    f.Imported,
+		EntryCount:  f.EntryCount,
+		nextBlockID: f.nextBlockID,
+	}
+	old2new := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{
+			ID:         b.ID,
+			Fn:         nf,
+			LandingPad: b.LandingPad,
+			Count:      b.Count,
+		}
+		old2new[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := old2new[b]
+		nb.Ins = make([]Inst, len(b.Ins))
+		copy(nb.Ins, b.Ins)
+		for i := range nb.Ins {
+			if nb.Ins[i].Pad != nil {
+				nb.Ins[i].Pad = old2new[nb.Ins[i].Pad]
+			}
+		}
+		nb.Term = Term{
+			Kind:  b.Term.Kind,
+			Cond:  b.Term.Cond,
+			Index: b.Term.Index,
+		}
+		if len(b.Term.Succs) > 0 {
+			nb.Term.Succs = make([]*Block, len(b.Term.Succs))
+			for i, s := range b.Term.Succs {
+				nb.Term.Succs[i] = old2new[s]
+			}
+		}
+		if len(b.Term.Weights) > 0 {
+			nb.Term.Weights = append([]uint64(nil), b.Term.Weights...)
+		}
+	}
+	return nf
+}
+
+// CloneModule returns a deep copy of m.
+func CloneModule(m *Module) *Module {
+	nm := &Module{Name: m.Name}
+	for _, f := range m.Funcs {
+		nm.Funcs = append(nm.Funcs, CloneFunc(f))
+	}
+	for _, g := range m.Globals {
+		ng := &Global{Name: g.Name, Size: g.Size, ReadOnly: g.ReadOnly, CodeSnapshotOf: g.CodeSnapshotOf}
+		ng.Init = append([]byte(nil), g.Init...)
+		ng.FuncPtrs = append([]string(nil), g.FuncPtrs...)
+		nm.Globals = append(nm.Globals, ng)
+	}
+	return nm
+}

@@ -1,0 +1,353 @@
+package ir
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"propeller/internal/isa"
+)
+
+// Binary serialization of IR modules. This is the "optimized IR object"
+// artifact of Phase 1 (§3.1): the distributed build system caches these
+// bytes keyed by content hash, and Phase 4 re-reads them to rerun the
+// backend for hot modules only.
+
+const irMagic = "WIR1"
+
+type countingWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) bytes(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *countingWriter) u64(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	cw.bytes(b[:n])
+}
+
+func (cw *countingWriter) i64(v int64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], v)
+	cw.bytes(b[:n])
+}
+
+func (cw *countingWriter) str(s string) {
+	cw.u64(uint64(len(s)))
+	cw.bytes([]byte(s))
+}
+
+func (cw *countingWriter) byte1(b byte) { cw.bytes([]byte{b}) }
+
+// WriteModule serializes m to w and returns the number of bytes written.
+func WriteModule(w io.Writer, m *Module) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	cw.bytes([]byte(irMagic))
+	cw.str(m.Name)
+	cw.u64(uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		cw.str(g.Name)
+		cw.i64(g.Size)
+		cw.u64(uint64(len(g.Init)))
+		cw.bytes(g.Init)
+		if g.ReadOnly {
+			cw.byte1(1)
+		} else {
+			cw.byte1(0)
+		}
+		cw.str(g.CodeSnapshotOf)
+		cw.u64(uint64(len(g.FuncPtrs)))
+		for _, fp := range g.FuncPtrs {
+			cw.str(fp)
+		}
+	}
+	cw.u64(uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		writeFunc(cw, f)
+	}
+	if cw.err == nil {
+		cw.err = cw.w.Flush()
+	}
+	return cw.n, cw.err
+}
+
+func writeFunc(cw *countingWriter, f *Func) {
+	cw.str(f.Name)
+	cw.str(f.Module)
+	cw.byte1(byte(f.Linkage))
+	cw.u64(uint64(f.NumParams))
+	flags := byte(0)
+	if f.HasEH {
+		flags |= 1
+	}
+	if f.Imported {
+		flags |= 2
+	}
+	cw.byte1(flags)
+	cw.u64(f.EntryCount)
+	cw.u64(uint64(f.nextBlockID))
+	cw.u64(uint64(len(f.Blocks)))
+	index := blockIndex(f)
+	for _, b := range f.Blocks {
+		cw.u64(uint64(b.ID))
+		if b.LandingPad {
+			cw.byte1(1)
+		} else {
+			cw.byte1(0)
+		}
+		cw.u64(b.Count)
+		cw.u64(uint64(len(b.Ins)))
+		for _, in := range b.Ins {
+			cw.byte1(byte(in.Op))
+			cw.byte1(in.A)
+			cw.byte1(in.B)
+			cw.i64(in.Imm)
+			cw.str(in.Sym)
+			if in.Pad != nil {
+				cw.u64(uint64(index[in.Pad]) + 1)
+			} else {
+				cw.u64(0)
+			}
+		}
+		cw.byte1(byte(b.Term.Kind))
+		cw.byte1(byte(b.Term.Cond))
+		cw.byte1(b.Term.Index)
+		cw.u64(uint64(len(b.Term.Succs)))
+		for _, s := range b.Term.Succs {
+			cw.u64(uint64(index[s]))
+		}
+		cw.u64(uint64(len(b.Term.Weights)))
+		for _, w := range b.Term.Weights {
+			cw.u64(w)
+		}
+	}
+}
+
+func blockIndex(f *Func) map[*Block]int {
+	idx := make(map[*Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	return idx
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) u64() uint64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(rd.r)
+	rd.err = err
+	return v
+}
+
+func (rd *reader) i64() int64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(rd.r)
+	rd.err = err
+	return v
+}
+
+func (rd *reader) str() string {
+	n := rd.u64()
+	if rd.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		rd.err = fmt.Errorf("ir: string length %d too large", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		rd.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+func (rd *reader) bytesN(n uint64) []byte {
+	if rd.err != nil {
+		return nil
+	}
+	if n > 1<<30 {
+		rd.err = fmt.Errorf("ir: byte blob length %d too large", n)
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		rd.err = err
+		return nil
+	}
+	return buf
+}
+
+func (rd *reader) byte1() byte {
+	if rd.err != nil {
+		return 0
+	}
+	b, err := rd.r.ReadByte()
+	rd.err = err
+	return b
+}
+
+// ReadModule deserializes a module previously written by WriteModule.
+func ReadModule(r io.Reader) (*Module, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	magic := rd.bytesN(4)
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if string(magic) != irMagic {
+		return nil, fmt.Errorf("ir: bad magic %q", magic)
+	}
+	m := &Module{Name: rd.str()}
+	nGlobals := rd.u64()
+	for i := uint64(0); i < nGlobals && rd.err == nil; i++ {
+		g := &Global{Name: rd.str(), Size: rd.i64()}
+		g.Init = rd.bytesN(rd.u64())
+		g.ReadOnly = rd.byte1() == 1
+		g.CodeSnapshotOf = rd.str()
+		nPtrs := rd.u64()
+		if rd.err == nil && nPtrs > 1<<20 {
+			return nil, fmt.Errorf("ir: implausible function pointer count %d", nPtrs)
+		}
+		for j := uint64(0); j < nPtrs && rd.err == nil; j++ {
+			g.FuncPtrs = append(g.FuncPtrs, rd.str())
+		}
+		m.Globals = append(m.Globals, g)
+	}
+	nFuncs := rd.u64()
+	for i := uint64(0); i < nFuncs && rd.err == nil; i++ {
+		f, err := readFunc(rd)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("ir: decode: %w", rd.err)
+	}
+	return m, nil
+}
+
+func readFunc(rd *reader) (*Func, error) {
+	f := &Func{
+		Name:      rd.str(),
+		Module:    rd.str(),
+		Linkage:   Linkage(rd.byte1()),
+		NumParams: int(rd.u64()),
+	}
+	flags := rd.byte1()
+	f.HasEH = flags&1 != 0
+	f.Imported = flags&2 != 0
+	f.EntryCount = rd.u64()
+	f.nextBlockID = int(rd.u64())
+	nBlocks := rd.u64()
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if nBlocks > 1<<24 {
+		return nil, fmt.Errorf("ir: function %s: block count %d too large", f.Name, nBlocks)
+	}
+	blocks := make([]*Block, nBlocks)
+	for i := range blocks {
+		blocks[i] = &Block{Fn: f}
+	}
+	f.Blocks = blocks
+	type padFix struct {
+		b    *Block
+		inst int
+		idx  uint64
+	}
+	var padFixes []padFix
+	for _, b := range blocks {
+		b.ID = int(rd.u64())
+		b.LandingPad = rd.byte1() == 1
+		b.Count = rd.u64()
+		nIns := rd.u64()
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		if nIns > 1<<24 {
+			return nil, fmt.Errorf("ir: block with %d instructions", nIns)
+		}
+		b.Ins = make([]Inst, nIns)
+		for j := range b.Ins {
+			in := &b.Ins[j]
+			in.Op = isa.Op(rd.byte1())
+			in.A = rd.byte1()
+			in.B = rd.byte1()
+			in.Imm = rd.i64()
+			in.Sym = rd.str()
+			if padIdx := rd.u64(); padIdx != 0 {
+				padFixes = append(padFixes, padFix{b, j, padIdx - 1})
+			}
+		}
+		b.Term.Kind = TermKind(rd.byte1())
+		b.Term.Cond = isa.Cond(rd.byte1())
+		b.Term.Index = rd.byte1()
+		nSuccs := rd.u64()
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		if nSuccs > 1<<20 {
+			return nil, fmt.Errorf("ir: terminator with %d successors", nSuccs)
+		}
+		for k := uint64(0); k < nSuccs; k++ {
+			idx := rd.u64()
+			if rd.err == nil && idx >= nBlocks {
+				return nil, fmt.Errorf("ir: successor index %d out of range", idx)
+			}
+			if rd.err == nil {
+				b.Term.Succs = append(b.Term.Succs, blocks[idx])
+			}
+		}
+		nW := rd.u64()
+		if rd.err == nil && nW > nSuccs {
+			return nil, fmt.Errorf("ir: %d weights for %d successors", nW, nSuccs)
+		}
+		for k := uint64(0); k < nW; k++ {
+			b.Term.Weights = append(b.Term.Weights, rd.u64())
+		}
+	}
+	for _, fix := range padFixes {
+		if fix.idx >= nBlocks {
+			return nil, fmt.Errorf("ir: landing pad index %d out of range", fix.idx)
+		}
+		fix.b.Ins[fix.inst].Pad = blocks[fix.idx]
+	}
+	return f, rd.err
+}
+
+// EncodeModule serializes m to a byte slice.
+func EncodeModule(m *Module) []byte {
+	var buf bytes.Buffer
+	if _, err := WriteModule(&buf, m); err != nil {
+		// Writing to a bytes.Buffer cannot fail.
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// DecodeModule deserializes a module from a byte slice.
+func DecodeModule(data []byte) (*Module, error) {
+	return ReadModule(bytes.NewReader(data))
+}

@@ -1,0 +1,390 @@
+package ir
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"propeller/internal/isa"
+)
+
+// buildDiamond constructs:
+//
+//	entry -> (then | else) -> exit
+func buildDiamond(t *testing.T) (*Module, *Func) {
+	t.Helper()
+	m := NewModule("m")
+	f := m.NewFunc("diamond", 1)
+	entry := f.Entry()
+	then := f.NewBlock()
+	els := f.NewBlock()
+	exit := f.NewBlock()
+
+	entry.Emit(Inst{Op: isa.OpCmpI, A: 0, Imm: 10})
+	entry.Branch(isa.CondLT, then, els)
+	then.Emit(Inst{Op: isa.OpAddI, A: 0, Imm: 1})
+	then.Jump(exit)
+	els.Emit(Inst{Op: isa.OpAddI, A: 0, Imm: 2})
+	els.Jump(exit)
+	exit.Return()
+
+	if err := Verify(m); err != nil {
+		t.Fatalf("diamond should verify: %v", err)
+	}
+	return m, f
+}
+
+func TestBuilderBasics(t *testing.T) {
+	m, f := buildDiamond(t)
+	if len(f.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(f.Blocks))
+	}
+	if f.Entry().ID != 0 {
+		t.Errorf("entry ID = %d, want 0", f.Entry().ID)
+	}
+	ids := map[int]bool{}
+	for _, b := range f.Blocks {
+		if ids[b.ID] {
+			t.Errorf("duplicate block ID %d", b.ID)
+		}
+		ids[b.ID] = true
+	}
+	if m.Func("diamond") != f {
+		t.Error("Func lookup failed")
+	}
+	if m.Func("absent") != nil {
+		t.Error("Func lookup of absent name should be nil")
+	}
+	if got := f.NumInsts(); got != 7 {
+		t.Errorf("NumInsts = %d, want 7 (3 insts + 4 terminators)", got)
+	}
+}
+
+func TestPreds(t *testing.T) {
+	_, f := buildDiamond(t)
+	exit := f.Blocks[3]
+	preds := exit.Preds()
+	if len(preds) != 2 {
+		t.Fatalf("exit has %d preds, want 2", len(preds))
+	}
+	entryPreds := f.Entry().Preds()
+	if len(entryPreds) != 0 {
+		t.Errorf("entry has %d preds, want 0", len(entryPreds))
+	}
+}
+
+func TestBlockByID(t *testing.T) {
+	_, f := buildDiamond(t)
+	for _, b := range f.Blocks {
+		if f.BlockByID(b.ID) != b {
+			t.Errorf("BlockByID(%d) mismatch", b.ID)
+		}
+	}
+	if f.BlockByID(999) != nil {
+		t.Error("BlockByID(999) should be nil")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	_, f := buildDiamond(t)
+	entry := f.Entry()
+	entry.Term.SetWeights(90, 10)
+	if entry.Term.TotalWeight() != 100 {
+		t.Errorf("TotalWeight = %d, want 100", entry.Term.TotalWeight())
+	}
+	if entry.Term.EdgeWeight(0) != 90 || entry.Term.EdgeWeight(1) != 10 {
+		t.Error("EdgeWeight mismatch")
+	}
+	if entry.Term.EdgeWeight(5) != 0 {
+		t.Error("out-of-range EdgeWeight should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetWeights with wrong arity should panic")
+		}
+	}()
+	entry.Term.SetWeights(1)
+}
+
+func TestVerifyCatchesBadIR(t *testing.T) {
+	check := func(name string, build func() *Module, wantSub string) {
+		t.Run(name, func(t *testing.T) {
+			err := Verify(build())
+			if err == nil {
+				t.Fatal("Verify accepted bad IR")
+			}
+			if !strings.Contains(err.Error(), wantSub) {
+				t.Errorf("error %q does not mention %q", err, wantSub)
+			}
+		})
+	}
+
+	check("duplicate function", func() *Module {
+		m := NewModule("m")
+		f1 := m.NewFunc("f", 0)
+		f1.Entry().Return()
+		f2 := m.NewFunc("f", 0)
+		f2.Entry().Return()
+		return m
+	}, "duplicate symbol")
+
+	check("branch arity", func() *Module {
+		m := NewModule("m")
+		f := m.NewFunc("f", 0)
+		b := f.NewBlock()
+		b.Return()
+		f.Entry().Term = Term{Kind: TermBranch, Succs: []*Block{b}}
+		return m
+	}, "successors")
+
+	check("foreign successor", func() *Module {
+		m := NewModule("m")
+		f := m.NewFunc("f", 0)
+		g := m.NewFunc("g", 0)
+		g.Entry().Return()
+		f.Entry().Jump(g.Entry())
+		return m
+	}, "not in function")
+
+	check("terminator in body", func() *Module {
+		m := NewModule("m")
+		f := m.NewFunc("f", 0)
+		f.Entry().Emit(Inst{Op: isa.OpJmp})
+		f.Entry().Return()
+		return m
+	}, "terminator inside")
+
+	check("call without callee", func() *Module {
+		m := NewModule("m")
+		f := m.NewFunc("f", 0)
+		f.Entry().Emit(Inst{Op: isa.OpCall})
+		f.Entry().Return()
+		return m
+	}, "without callee")
+
+	check("landing pad on non-call", func() *Module {
+		m := NewModule("m")
+		f := m.NewFunc("f", 0)
+		pad := f.NewBlock()
+		pad.LandingPad = true
+		pad.Return()
+		f.Entry().Emit(Inst{Op: isa.OpAdd, Pad: pad})
+		f.Entry().Return()
+		return m
+	}, "landing pad on non-call")
+
+	check("pad target not marked", func() *Module {
+		m := NewModule("m")
+		f := m.NewFunc("f", 0)
+		pad := f.NewBlock()
+		pad.Return()
+		f.Entry().Emit(Inst{Op: isa.OpCall, Sym: "g", Pad: pad})
+		f.Entry().Return()
+		return m
+	}, "not marked LandingPad")
+
+	check("entry is landing pad", func() *Module {
+		m := NewModule("m")
+		f := m.NewFunc("f", 0)
+		f.Entry().LandingPad = true
+		f.Entry().Return()
+		return m
+	}, "entry block is a landing pad")
+
+	check("global initializer too long", func() *Module {
+		m := NewModule("m")
+		m.AddGlobal(&Global{Name: "g", Size: 2, Init: []byte{1, 2, 3}})
+		return m
+	}, "initializer longer")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	_, f := buildDiamond(t)
+	f.EntryCount = 42
+	clone := CloneFunc(f)
+	if err := VerifyFunc(clone); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	if clone.EntryCount != 42 || clone.Name != f.Name {
+		t.Error("clone lost metadata")
+	}
+	// Mutating the clone must not affect the original.
+	clone.Entry().Ins[0].Imm = 999
+	clone.Entry().Term.Succs[0] = clone.Blocks[3]
+	if f.Entry().Ins[0].Imm == 999 {
+		t.Error("instruction mutation leaked to original")
+	}
+	if f.Entry().Term.Succs[0] == f.Blocks[3] {
+		t.Error("successor mutation leaked to original")
+	}
+	// All clone successors must point into the clone.
+	for _, b := range clone.Blocks {
+		if b.Fn != clone {
+			t.Error("clone block owned by original")
+		}
+		for _, s := range b.Term.Succs {
+			if s.Fn != clone {
+				t.Error("clone successor points at original function")
+			}
+		}
+	}
+}
+
+func TestClonePreservesLandingPads(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", 0)
+	pad := f.NewBlock()
+	pad.LandingPad = true
+	pad.Return()
+	f.Entry().Emit(Inst{Op: isa.OpCall, Sym: "g", Pad: pad})
+	f.Entry().Return()
+	f.HasEH = true
+	if err := VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	clone := CloneFunc(f)
+	if err := VerifyFunc(clone); err != nil {
+		t.Fatal(err)
+	}
+	got := clone.Entry().Ins[0].Pad
+	if got == nil || got.Fn != clone || !got.LandingPad {
+		t.Error("clone landing pad not remapped into clone")
+	}
+}
+
+func randModule(rng *rand.Rand) *Module {
+	m := NewModule("rand")
+	nGlob := rng.Intn(4)
+	for i := 0; i < nGlob; i++ {
+		init := make([]byte, rng.Intn(16))
+		rng.Read(init)
+		m.AddGlobal(&Global{
+			Name:     "g" + string(rune('a'+i)),
+			Size:     int64(len(init) + rng.Intn(8)),
+			Init:     init,
+			ReadOnly: rng.Intn(2) == 0,
+		})
+	}
+	nFuncs := 1 + rng.Intn(4)
+	for fi := 0; fi < nFuncs; fi++ {
+		f := m.NewFunc("f"+string(rune('a'+fi)), rng.Intn(4))
+		f.EntryCount = uint64(rng.Intn(1000))
+		nBlocks := 1 + rng.Intn(6)
+		for len(f.Blocks) < nBlocks {
+			f.NewBlock()
+		}
+		for bi, b := range f.Blocks {
+			b.Count = uint64(rng.Intn(500))
+			nIns := rng.Intn(5)
+			for i := 0; i < nIns; i++ {
+				ops := []isa.Op{isa.OpAdd, isa.OpMovI, isa.OpCmpI, isa.OpLoad, isa.OpStore}
+				b.Emit(Inst{
+					Op:  ops[rng.Intn(len(ops))],
+					A:   byte(rng.Intn(isa.NumRegs)),
+					B:   byte(rng.Intn(isa.NumRegs)),
+					Imm: int64(rng.Int31()) - 1<<30,
+				})
+			}
+			pick := func() *Block { return f.Blocks[rng.Intn(len(f.Blocks))] }
+			switch rng.Intn(4) {
+			case 0:
+				b.Jump(pick())
+			case 1:
+				b.Branch(isa.Cond(rng.Intn(int(isa.NumConds))), pick(), pick())
+				b.Term.SetWeights(uint64(rng.Intn(100)), uint64(rng.Intn(100)))
+			case 2:
+				b.Switch(byte(rng.Intn(isa.NumRegs)), pick(), pick(), pick())
+			default:
+				if bi == 0 {
+					b.Halt()
+				} else {
+					b.Return()
+				}
+			}
+		}
+	}
+	return m
+}
+
+func modulesEqual(a, b *Module) bool {
+	return a.String() == b.String() &&
+		len(a.Funcs) == len(b.Funcs) && len(a.Globals) == len(b.Globals)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := randModule(rng)
+		data := EncodeModule(m)
+		got, err := DecodeModule(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !modulesEqual(m, got) {
+			t.Fatalf("trial %d: round trip mismatch:\n-- want --\n%s\n-- got --\n%s", trial, m, got)
+		}
+		if err := Verify(got); err != nil {
+			t.Fatalf("trial %d: decoded module does not verify: %v", trial, err)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randModule(rng)
+	if !bytes.Equal(EncodeModule(m), EncodeModule(m)) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeModule([]byte("NOPE")); err == nil {
+		t.Error("decoded garbage magic")
+	}
+	if _, err := DecodeModule(nil); err == nil {
+		t.Error("decoded empty input")
+	}
+	m, f := buildDiamond(t)
+	_ = f
+	data := EncodeModule(m)
+	for cut := 5; cut < len(data); cut += 7 {
+		if _, err := DecodeModule(data[:cut]); err == nil {
+			t.Errorf("decoded truncated input of %d bytes", cut)
+		}
+	}
+}
+
+func TestRoundTripEncodePreservesPads(t *testing.T) {
+	m := NewModule("m")
+	f := m.NewFunc("f", 0)
+	pad := f.NewBlock()
+	pad.LandingPad = true
+	pad.Return()
+	f.Entry().Emit(Inst{Op: isa.OpCall, Sym: "callee", Pad: pad})
+	f.Entry().Return()
+	f.HasEH = true
+
+	got, err := DecodeModule(EncodeModule(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf := got.Func("f")
+	if gf == nil || !gf.HasEH {
+		t.Fatal("function or HasEH lost")
+	}
+	gotPad := gf.Entry().Ins[0].Pad
+	if gotPad == nil || !gotPad.LandingPad {
+		t.Fatal("landing pad reference lost in serialization")
+	}
+}
+
+func TestPrintedFormStable(t *testing.T) {
+	m, _ := buildDiamond(t)
+	s := m.String()
+	for _, want := range []string{"module m", "func diamond(1)", "bb0:", "branch.lt -> bb1, bb2", "return"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed module missing %q:\n%s", want, s)
+		}
+	}
+}

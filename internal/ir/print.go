@@ -1,0 +1,95 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module as human-readable text, used by tests and the
+// -dump-ir options of the CLI tools.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, g := range m.Globals {
+		kind := "data"
+		if g.ReadOnly {
+			kind = "rodata"
+		}
+		fmt.Fprintf(&sb, "%s %s [%d bytes]\n", kind, g.Name, g.Size)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function as human-readable text.
+func (f *Func) String() string {
+	var sb strings.Builder
+	attrs := ""
+	if f.HasEH {
+		attrs += " eh"
+	}
+	if f.Imported {
+		attrs += " imported"
+	}
+	if f.Linkage == Internal {
+		attrs += " internal"
+	}
+	fmt.Fprintf(&sb, "func %s(%d)%s {\n", f.Name, f.NumParams, attrs)
+	for _, b := range f.Blocks {
+		pad := ""
+		if b.LandingPad {
+			pad = " (landingpad)"
+		}
+		cnt := ""
+		if b.Count > 0 {
+			cnt = fmt.Sprintf(" !count=%d", b.Count)
+		}
+		fmt.Fprintf(&sb, "bb%d:%s%s\n", b.ID, pad, cnt)
+		for _, in := range b.Ins {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "  %s\n", b.Term.String())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one IR instruction.
+func (in Inst) String() string {
+	s := fmt.Sprintf("%v a=r%d b=r%d imm=%d", in.Op, in.A, in.B, in.Imm)
+	if in.Sym != "" {
+		s += " sym=" + in.Sym
+	}
+	if in.Pad != nil {
+		s += fmt.Sprintf(" pad=bb%d", in.Pad.ID)
+	}
+	return s
+}
+
+// String renders a terminator.
+func (t Term) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Kind.String())
+	if t.Kind == TermBranch {
+		fmt.Fprintf(&sb, ".%v", t.Cond)
+	}
+	if t.Kind == TermSwitch {
+		fmt.Fprintf(&sb, " r%d", t.Index)
+	}
+	for i, s := range t.Succs {
+		if i == 0 {
+			sb.WriteString(" ->")
+		} else {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, " bb%d", s.ID)
+		if w := t.EdgeWeight(i); w > 0 {
+			fmt.Fprintf(&sb, "(%d)", w)
+		}
+	}
+	return sb.String()
+}

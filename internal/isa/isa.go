@@ -1,0 +1,248 @@
+// Package isa defines WSA, the Warehouse Synthetic Architecture: a 64-bit,
+// variable-length instruction set used as the code-generation target for the
+// Propeller reproduction.
+//
+// WSA deliberately mirrors the properties of x86-64 that the paper's argument
+// depends on:
+//
+//   - Variable-length encodings (1 to 10 bytes), so linear disassembly of a
+//     byte stream that contains embedded data (jump tables) desynchronizes,
+//     exactly as §1.1 and §5.8 of the paper describe for CISC targets.
+//   - Short (rel8) and long (rel32) branch forms, so the linker relaxation
+//     pass of §4.2 (fall-through deletion and branch shrinking) has real
+//     work to do.
+//   - PC-relative branch/call targets measured from the end of the
+//     instruction, like x86, so relocations are required whenever a basic
+//     block is placed in its own section.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general purpose registers (r0..r15).
+const NumRegs = 16
+
+// Conventional register roles. The calling convention passes the first four
+// arguments in r0-r3 and returns values in r0. r15 is the stack pointer.
+const (
+	RegArg0    = 0
+	RegArg1    = 1
+	RegArg2    = 2
+	RegArg3    = 3
+	RegRet     = 0
+	RegTmp0    = 10
+	RegTmp1    = 11
+	RegTmp2    = 12
+	RegScratch = 13
+	RegFP      = 14
+	RegSP      = 15
+)
+
+// Op is a WSA opcode.
+type Op byte
+
+// Opcode space. Gaps are reserved; the decoder rejects them, which is what
+// makes "disassembling" embedded data fail loudly rather than silently.
+const (
+	OpHalt Op = 0x00 // halt execution
+	OpNop  Op = 0x01 // no operation
+	OpRet  Op = 0x02 // pop return address, jump to it
+
+	OpMovRR  Op = 0x10 // dst = src
+	OpMovI   Op = 0x11 // dst = sign-extended imm32
+	OpMovI64 Op = 0x12 // dst = imm64
+	OpAdd    Op = 0x13 // dst += src
+	OpSub    Op = 0x14 // dst -= src
+	OpMul    Op = 0x15 // dst *= src
+	OpDiv    Op = 0x16 // dst /= src (trap on zero)
+	OpAnd    Op = 0x17
+	OpOr     Op = 0x18
+	OpXor    Op = 0x19
+	OpShl    Op = 0x1A
+	OpShr    Op = 0x1B
+	OpAddI   Op = 0x1C // dst += imm32
+	OpCmp    Op = 0x1D // flags = sign(a - b)
+	OpCmpI   Op = 0x1E // flags = sign(a - imm32)
+	OpMod    Op = 0x1F // dst %= src (trap on zero)
+
+	OpLoad  Op = 0x20 // dst = mem64[rBase + imm32]
+	OpStore Op = 0x21 // mem64[rBase + imm32] = src
+
+	OpJmp  Op = 0x30 // unconditional, rel32
+	OpJmpS Op = 0x31 // unconditional, rel8
+
+	// Long conditional branches, rel32. Order matters: cond = op - OpJeq.
+	OpJeq Op = 0x32
+	OpJne Op = 0x33
+	OpJlt Op = 0x34
+	OpJle Op = 0x35
+	OpJgt Op = 0x36
+	OpJge Op = 0x37
+
+	// Short conditional branches, rel8. Order mirrors the long forms.
+	OpJeqS Op = 0x38
+	OpJneS Op = 0x39
+	OpJltS Op = 0x3A
+	OpJleS Op = 0x3B
+	OpJgtS Op = 0x3C
+	OpJgeS Op = 0x3D
+
+	OpCall  Op = 0x40 // push return address, jump rel32
+	OpCallR Op = 0x41 // indirect call through register
+	OpJmpR  Op = 0x42 // indirect jump through register (jump tables)
+
+	OpPush Op = 0x50
+	OpPop  Op = 0x51
+
+	OpThrow    Op = 0x60 // raise an exception; unwinder consults the LSDA
+	OpPrefetch Op = 0x70 // software prefetch hint, mem[rBase + imm32]
+)
+
+// Cond is a comparison condition for conditional branches.
+type Cond byte
+
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+	NumConds
+)
+
+// Negate returns the logical negation of the condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	case CondGE:
+		return CondLT
+	}
+	panic(fmt.Sprintf("isa: invalid condition %d", c))
+}
+
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "eq"
+	case CondNE:
+		return "ne"
+	case CondLT:
+		return "lt"
+	case CondLE:
+		return "le"
+	case CondGT:
+		return "gt"
+	case CondGE:
+		return "ge"
+	}
+	return fmt.Sprintf("cond(%d)", byte(c))
+}
+
+// Holds reports whether the condition holds for a flags value, which is the
+// sign of the comparison a-b: negative, zero, or positive.
+func (c Cond) Holds(flags int64) bool {
+	switch c {
+	case CondEQ:
+		return flags == 0
+	case CondNE:
+		return flags != 0
+	case CondLT:
+		return flags < 0
+	case CondLE:
+		return flags <= 0
+	case CondGT:
+		return flags > 0
+	case CondGE:
+		return flags >= 0
+	}
+	return false
+}
+
+// CondBranch returns the long-form conditional branch opcode for cond.
+func CondBranch(c Cond) Op { return OpJeq + Op(c) }
+
+// IsBranch reports whether op transfers control (excluding calls and returns).
+func (o Op) IsBranch() bool {
+	return (o >= OpJmp && o <= OpJgeS) || o == OpJmpR
+}
+
+// IsCondBranch reports whether op is a conditional branch (short or long).
+func (o Op) IsCondBranch() bool { return o >= OpJeq && o <= OpJgeS }
+
+// IsUncondJump reports whether op is a direct unconditional jump.
+func (o Op) IsUncondJump() bool { return o == OpJmp || o == OpJmpS }
+
+// IsShortBranch reports whether op is a rel8 branch form.
+func (o Op) IsShortBranch() bool { return o == OpJmpS || (o >= OpJeqS && o <= OpJgeS) }
+
+// IsCall reports whether op is a call (direct or indirect).
+func (o Op) IsCall() bool { return o == OpCall || o == OpCallR }
+
+// IsTerminator reports whether op ends a basic block.
+func (o Op) IsTerminator() bool {
+	return o.IsBranch() || o == OpRet || o == OpHalt || o == OpThrow
+}
+
+// BranchCond returns the condition encoded by a conditional branch opcode.
+func (o Op) BranchCond() Cond {
+	switch {
+	case o >= OpJeq && o <= OpJge:
+		return Cond(o - OpJeq)
+	case o >= OpJeqS && o <= OpJgeS:
+		return Cond(o - OpJeqS)
+	}
+	panic(fmt.Sprintf("isa: %v is not a conditional branch", o))
+}
+
+// ShortForm returns the rel8 form of a rel32 branch opcode.
+func (o Op) ShortForm() Op {
+	switch {
+	case o == OpJmp:
+		return OpJmpS
+	case o >= OpJeq && o <= OpJge:
+		return o + (OpJeqS - OpJeq)
+	}
+	panic(fmt.Sprintf("isa: %v has no short form", o))
+}
+
+// LongForm returns the rel32 form of a rel8 branch opcode.
+func (o Op) LongForm() Op {
+	switch {
+	case o == OpJmpS:
+		return OpJmp
+	case o >= OpJeqS && o <= OpJgeS:
+		return o - (OpJeqS - OpJeq)
+	}
+	panic(fmt.Sprintf("isa: %v has no long form", o))
+}
+
+var opNames = map[Op]string{
+	OpHalt: "halt", OpNop: "nop", OpRet: "ret",
+	OpMovRR: "mov", OpMovI: "movi", OpMovI64: "movi64",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddI: "addi", OpCmp: "cmp", OpCmpI: "cmpi", OpMod: "mod",
+	OpLoad: "load", OpStore: "store",
+	OpJmp: "jmp", OpJmpS: "jmp.s",
+	OpJeq: "jeq", OpJne: "jne", OpJlt: "jlt", OpJle: "jle", OpJgt: "jgt", OpJge: "jge",
+	OpJeqS: "jeq.s", OpJneS: "jne.s", OpJltS: "jlt.s", OpJleS: "jle.s", OpJgtS: "jgt.s", OpJgeS: "jge.s",
+	OpCall: "call", OpCallR: "callr", OpJmpR: "jmpr",
+	OpPush: "push", OpPop: "pop",
+	OpThrow: "throw", OpPrefetch: "prefetch",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%#02x)", byte(o))
+}

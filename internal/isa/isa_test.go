@@ -1,0 +1,311 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondNegate(t *testing.T) {
+	for c := Cond(0); c < NumConds; c++ {
+		n := c.Negate()
+		if n.Negate() != c {
+			t.Errorf("double negation of %v = %v, want identity", c, n.Negate())
+		}
+		for flags := int64(-2); flags <= 2; flags++ {
+			if c.Holds(flags) == n.Holds(flags) {
+				t.Errorf("%v and %v both evaluate to %v on flags %d", c, n, c.Holds(flags), flags)
+			}
+		}
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		c     Cond
+		flags int64
+		want  bool
+	}{
+		{CondEQ, 0, true}, {CondEQ, 1, false}, {CondEQ, -1, false},
+		{CondNE, 0, false}, {CondNE, 5, true},
+		{CondLT, -3, true}, {CondLT, 0, false},
+		{CondLE, 0, true}, {CondLE, 1, false},
+		{CondGT, 1, true}, {CondGT, 0, false},
+		{CondGE, 0, true}, {CondGE, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Holds(c.flags); got != c.want {
+			t.Errorf("%v.Holds(%d) = %v, want %v", c.c, c.flags, got, c.want)
+		}
+	}
+}
+
+func TestShortLongForms(t *testing.T) {
+	longs := []Op{OpJmp, OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge}
+	for _, l := range longs {
+		s := l.ShortForm()
+		if !s.IsShortBranch() {
+			t.Errorf("ShortForm(%v) = %v is not a short branch", l, s)
+		}
+		if s.LongForm() != l {
+			t.Errorf("LongForm(ShortForm(%v)) = %v", l, s.LongForm())
+		}
+		if SizeOf(s) >= SizeOf(l) {
+			t.Errorf("short form %v (%d bytes) not smaller than %v (%d bytes)", s, SizeOf(s), l, SizeOf(l))
+		}
+		if l != OpJmp {
+			if l.BranchCond() != s.BranchCond() {
+				t.Errorf("conditions differ: %v vs %v", l.BranchCond(), s.BranchCond())
+			}
+		}
+	}
+}
+
+func TestCondBranchRoundTrip(t *testing.T) {
+	for c := Cond(0); c < NumConds; c++ {
+		op := CondBranch(c)
+		if !op.IsCondBranch() {
+			t.Fatalf("CondBranch(%v) = %v not a conditional branch", c, op)
+		}
+		if op.BranchCond() != c {
+			t.Errorf("BranchCond(CondBranch(%v)) = %v", c, op.BranchCond())
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpJmpR.IsBranch() {
+		t.Error("jmpr must classify as branch")
+	}
+	if OpCall.IsBranch() {
+		t.Error("call must not classify as branch")
+	}
+	if !OpCall.IsCall() || !OpCallR.IsCall() {
+		t.Error("call/callr must classify as calls")
+	}
+	for _, o := range []Op{OpRet, OpHalt, OpThrow, OpJmp, OpJmpR, OpJeqS} {
+		if !o.IsTerminator() {
+			t.Errorf("%v must be a terminator", o)
+		}
+	}
+	for _, o := range []Op{OpAdd, OpCall, OpLoad, OpNop} {
+		if o.IsTerminator() {
+			t.Errorf("%v must not be a terminator", o)
+		}
+	}
+}
+
+func allEncodableOps() []Op {
+	var ops []Op
+	for o := Op(0); o < 0x80; o++ {
+		if SizeOf(o) > 0 {
+			ops = append(ops, o)
+		}
+	}
+	return ops
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	imms := []int64{0, 1, -1, 127, -128, 1 << 20, -(1 << 20), 1<<31 - 1, -(1 << 31)}
+	for _, op := range allEncodableOps() {
+		for _, imm := range imms {
+			in := Inst{Op: op, A: 3, B: 7, Imm: imm}
+			// Clamp the immediate to what the format can hold.
+			switch {
+			case op.IsShortBranch():
+				if !FitsRel8(imm) {
+					continue
+				}
+				in.A, in.B = 0, 0
+			case SizeOf(op) == 1:
+				in.A, in.B, in.Imm = 0, 0, 0
+			case SizeOf(op) == 2 && !op.IsShortBranch():
+				in.B, in.Imm = 0, 0
+			case SizeOf(op) == 3:
+				in.Imm = 0
+			case SizeOf(op) == 5:
+				in.A, in.B = 0, 0
+			case SizeOf(op) == 6, SizeOf(op) == 10:
+				in.B = 0
+			}
+			buf := Encode(nil, in)
+			if len(buf) != in.Size() {
+				t.Fatalf("%v: encoded %d bytes, Size() = %d", in, len(buf), in.Size())
+			}
+			got, n, err := Decode(buf, 0)
+			if err != nil {
+				t.Fatalf("decode %v: %v", in, err)
+			}
+			if n != len(buf) {
+				t.Fatalf("decode %v: consumed %d of %d bytes", in, n, len(buf))
+			}
+			if got != in {
+				t.Errorf("round trip: got %+v, want %+v", got, in)
+			}
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	_, _, err := Decode([]byte{0xFE, 0, 0, 0}, 0)
+	de, ok := err.(*DecodeError)
+	if !ok {
+		t.Fatalf("want *DecodeError, got %v", err)
+	}
+	if de.Byte != 0xFE || de.Short {
+		t.Errorf("unexpected error detail: %+v", de)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := Encode(nil, Inst{Op: OpMovI, A: 1, Imm: 42})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := Decode(full[:cut], 0); err == nil {
+			t.Errorf("decoding %d-byte prefix of %d-byte inst succeeded", cut, len(full))
+		}
+	}
+	if _, _, err := Decode(nil, 0); err == nil {
+		t.Error("decoding empty buffer succeeded")
+	}
+}
+
+func TestDecodeRejectsBadRegisters(t *testing.T) {
+	buf := Encode(nil, Inst{Op: OpAdd, A: 1, B: 2})
+	buf[1] = NumRegs // corrupt register field
+	if _, _, err := Decode(buf, 0); err == nil {
+		t.Error("decode accepted out-of-range register")
+	}
+}
+
+func TestPatchRel32(t *testing.T) {
+	buf := Encode(nil, Inst{Op: OpJmp, Imm: 0})
+	if err := PatchRel32(buf, 0, 12345); err != nil {
+		t.Fatal(err)
+	}
+	in, _, err := Decode(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != 12345 {
+		t.Errorf("patched displacement = %d, want 12345", in.Imm)
+	}
+	if err := PatchRel32(buf, 0, 1<<33); err == nil {
+		t.Error("PatchRel32 accepted out-of-range displacement")
+	}
+	add := Encode(nil, Inst{Op: OpAdd, A: 0, B: 1})
+	if err := PatchRel32(add, 0, 4); err == nil {
+		t.Error("PatchRel32 accepted non-branch opcode")
+	}
+}
+
+func TestPatchRel8(t *testing.T) {
+	buf := Encode(nil, Inst{Op: OpJeqS, Imm: 0})
+	if err := PatchRel8(buf, 0, -100); err != nil {
+		t.Fatal(err)
+	}
+	in, _, err := Decode(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != -100 {
+		t.Errorf("patched displacement = %d, want -100", in.Imm)
+	}
+	if err := PatchRel8(buf, 0, 200); err == nil {
+		t.Error("PatchRel8 accepted out-of-range displacement")
+	}
+}
+
+// Property: any buffer of random bytes either decodes to an instruction that
+// re-encodes to exactly the bytes consumed, or returns a DecodeError.
+func TestDecodeEncodeProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		in, n, err := Decode(raw, 0)
+		if err != nil {
+			_, ok := err.(*DecodeError)
+			return ok
+		}
+		re := Encode(nil, in)
+		if len(re) != n {
+			return false
+		}
+		for i := range re {
+			if re[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a stream of valid instructions decodes back to itself via
+// sequential decoding.
+func TestStreamDecodeProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		ops := allEncodableOps()
+		var insts []Inst
+		var buf []byte
+		for _, s := range seeds {
+			op := ops[int(s)%len(ops)]
+			in := Inst{Op: op}
+			if SizeOf(op) >= 2 && !op.IsShortBranch() && opTakesReg(op) {
+				in.A = byte(s % NumRegs)
+			}
+			if SizeOf(op) == 3 || SizeOf(op) == 7 {
+				in.B = byte((s >> 4) % NumRegs)
+			}
+			switch SizeOf(op) {
+			case 2:
+				if op.IsShortBranch() {
+					in.Imm = int64(int8(s))
+				}
+			case 5, 6, 7:
+				in.Imm = int64(int32(s))
+			case 10:
+				in.Imm = int64(s) << 16
+			}
+			insts = append(insts, in)
+			buf = Encode(buf, in)
+		}
+		off := 0
+		for _, want := range insts {
+			got, n, err := Decode(buf, off)
+			if err != nil || got != want {
+				return false
+			}
+			off += n
+		}
+		return off == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func opTakesReg(op Op) bool {
+	switch opFormat(op) {
+	case fmtR, fmtRR, fmtRI32, fmtRI64, fmtRRI32:
+		return true
+	}
+	return false
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpRet}, "ret"},
+		{Inst{Op: OpAdd, A: 1, B: 2}, "add r1, r2"},
+		{Inst{Op: OpMovI, A: 4, Imm: -7}, "movi r4, -7"},
+		{Inst{Op: OpJmp, Imm: 16}, "jmp +16"},
+		{Inst{Op: OpLoad, A: 15, B: 3, Imm: 8}, "load r3, [r15+8]"},
+		{Inst{Op: OpStore, A: 15, B: 3, Imm: -8}, "store [r15-8], r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

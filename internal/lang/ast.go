@@ -1,0 +1,156 @@
+package lang
+
+// AST node definitions. Every node carries the source line for error
+// reporting.
+
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name     string
+	init     int64
+	readOnly bool  // const
+	elems    int64 // >0 for arrays: number of 8-byte elements
+	line     int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+
+type stmt interface{ stmtLine() int }
+
+type blockStmt struct {
+	stmts []stmt
+	line  int
+}
+
+type varStmt struct {
+	name string
+	init expr // may be nil
+	line int
+}
+
+type assignStmt struct {
+	name string
+	val  expr
+	line int
+}
+
+type indexAssignStmt struct {
+	name string
+	idx  expr
+	val  expr
+	line int
+}
+
+type ifStmt struct {
+	cond expr
+	then *blockStmt
+	els  stmt // *blockStmt, *ifStmt, or nil
+	line int
+}
+
+type whileStmt struct {
+	cond expr
+	body *blockStmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // assign or var, may be nil
+	cond expr // may be nil (infinite)
+	post stmt // assign, may be nil
+	body *blockStmt
+	line int
+}
+
+type switchStmt struct {
+	val   expr
+	cases [][]stmt // indexed by case value 0..n-1
+	def   []stmt   // default arm, may be nil
+	line  int
+}
+
+type returnStmt struct {
+	val  expr // may be nil
+	line int
+}
+
+type throwStmt struct{ line int }
+
+type tryStmt struct {
+	body  *blockStmt
+	catch *blockStmt
+	line  int
+}
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+func (s *blockStmt) stmtLine() int       { return s.line }
+func (s *varStmt) stmtLine() int         { return s.line }
+func (s *assignStmt) stmtLine() int      { return s.line }
+func (s *indexAssignStmt) stmtLine() int { return s.line }
+func (s *ifStmt) stmtLine() int          { return s.line }
+func (s *whileStmt) stmtLine() int       { return s.line }
+func (s *forStmt) stmtLine() int         { return s.line }
+func (s *switchStmt) stmtLine() int      { return s.line }
+func (s *returnStmt) stmtLine() int      { return s.line }
+func (s *throwStmt) stmtLine() int       { return s.line }
+func (s *tryStmt) stmtLine() int         { return s.line }
+func (s *exprStmt) stmtLine() int        { return s.line }
+
+// Expressions.
+
+type expr interface{ exprLine() int }
+
+type numExpr struct {
+	val  int64
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-" or "!"
+	e    expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type indexExpr struct {
+	name string
+	idx  expr
+	line int
+}
+
+func (e *numExpr) exprLine() int   { return e.line }
+func (e *identExpr) exprLine() int { return e.line }
+func (e *binExpr) exprLine() int   { return e.line }
+func (e *unaryExpr) exprLine() int { return e.line }
+func (e *callExpr) exprLine() int  { return e.line }
+func (e *indexExpr) exprLine() int { return e.line }

@@ -1,0 +1,306 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"propeller/internal/codegen"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+)
+
+// compileAndRun compiles MiniC source and executes it, returning the halt
+// value (main's return value).
+func compileAndRun(t *testing.T, src string) int64 {
+	t.Helper()
+	m, err := Compile(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	obj, err := codegen.Compile(m, codegen.Options{})
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	bin, _, err := linker.Link([]*objfile.Object{obj}, linker.Config{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	mach, err := sim.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: 50_000_000, DisableUarch: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Exit
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"100 / 7", 14},
+		{"100 % 7", 2},
+		{"-5 + 3", -2},
+		{"6 & 3", 2},
+		{"6 | 3", 7},
+		{"6 ^ 3", 5},
+		{"1 << 10", 1024},
+		{"1024 >> 3", 128},
+		{"3 < 5", 1},
+		{"5 < 3", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"3 <= 3", 1},
+		{"4 > 9", 0},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 5", 1},
+		{"0 || 0", 0},
+		{"0x10 + 1", 17},
+	}
+	for _, c := range cases {
+		got := compileAndRun(t, "func main() { return "+c.expr+"; }")
+		if got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+// sum of odd numbers below 100, computed the hard way
+func main() {
+  var sum = 0;
+  var i;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 1) { sum = sum + i; }
+    else if (i == 0) { sum = sum + 1000; }
+    else { sum = sum - 0; }
+  }
+  while (sum > 3000) { sum = sum - 100; }
+  return sum;
+}`
+	// sum(1,3,..,99) = 2500, plus 1000 for i==0 → 3500; while loop drains
+	// to 3000 then one more: 3500→3400→...→3000 stops at <=3000 → 3000.
+	if got := compileAndRun(t, src); got != 3000 {
+		t.Errorf("got %d, want 3000", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main() { return fib(12); }`
+	if got := compileAndRun(t, src); got != 144 {
+		t.Errorf("fib(12) = %d, want 144", got)
+	}
+}
+
+func TestMultipleArgs(t *testing.T) {
+	src := `
+func madd(a, b, c, d) { return a * b + c * d; }
+func main() { return madd(2, 3, 4, 5); }`
+	if got := compileAndRun(t, src); got != 26 {
+		t.Errorf("got %d, want 26", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+var counter = 5;
+const base = 100;
+func bump(n) { counter = counter + n; return counter; }
+func main() {
+  bump(1); bump(2);
+  return counter + base;
+}`
+	if got := compileAndRun(t, src); got != 108 {
+		t.Errorf("got %d, want 108", got)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	src := `
+func classify(n) {
+  switch (n % 4) {
+    case 0: return 10;
+    case 1: return 20;
+    case 3: return 40;
+    default: return 99;
+  }
+  return -1;
+}
+func main() {
+  return classify(8) + classify(5) + classify(7) + classify(2) + classify(-1);
+}`
+	// 10 + 20 + 40 + 99(default for 2) + 99(negative → default) = 268.
+	if got := compileAndRun(t, src); got != 268 {
+		t.Errorf("got %d, want 268", got)
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	src := `
+func risky(n) {
+  if (n % 3 == 0) { throw; }
+  return n;
+}
+func main() {
+  var total = 0;
+  var i;
+  for (i = 1; i <= 10; i = i + 1) {
+    try { total = total + risky(i); }
+    catch { total = total + 1000; }
+  }
+  return total;
+}`
+	// i=3,6,9 throw (+3000); others sum 1+2+4+5+7+8+10 = 37.
+	if got := compileAndRun(t, src); got != 3037 {
+		t.Errorf("got %d, want 3037", got)
+	}
+}
+
+func TestCallArgumentsSurviveNesting(t *testing.T) {
+	src := `
+func id(x) { return x; }
+func main() {
+  // Nested calls force temp spilling around the inner call.
+  return id(1) + id(id(2) + id(3)) * id(4);
+}`
+	if got := compileAndRun(t, src); got != 21 {
+		t.Errorf("got %d, want 21", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined variable": `func main() { return nope; }`,
+		"undefined function": `func main() { return nope(); }`,
+		"assign to const":    `const k = 1; func main() { k = 2; return 0; }`,
+		"duplicate local":    `func main() { var a; var a; return 0; }`,
+		"duplicate function": `func f() { return 0; } func f() { return 1; } func main() { return 0; }`,
+		"too many params":    `func f(a,b,c,d,e) { return 0; } func main() { return 0; }`,
+		"bad case label":     `func main() { switch (1) { case 999: return 1; } return 0; }`,
+		"unterminated block": `func main() { return 0;`,
+		"stray character":    `func main() { return 0 @ 1; }`,
+		"const without init": `const k; func main() { return 0; }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Compile(src, "bad"); err == nil {
+				t.Errorf("compile accepted: %s", src)
+			} else if !strings.Contains(err.Error(), "lang:") {
+				t.Errorf("error lacks lang prefix: %v", err)
+			}
+		})
+	}
+}
+
+func TestDeepExpressionRejected(t *testing.T) {
+	// Build an expression needing more than 9 temp registers: right-leaning
+	// additions nest one depth level per operand.
+	e := "1"
+	for i := 0; i < 12; i++ {
+		e = "1 + (" + e + ")"
+	}
+	_, err := Compile("func main() { return "+e+"; }", "deep")
+	if err == nil || !strings.Contains(err.Error(), "too deeply nested") {
+		t.Errorf("deep expression: err = %v", err)
+	}
+}
+
+func TestLargeLiteral(t *testing.T) {
+	if got := compileAndRun(t, "func main() { return 1099511628211 % 1000000; }"); got != 628211 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// leading comment
+func main() { // trailing
+  // inner
+  return 42;
+}`
+	if got := compileAndRun(t, src); got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+var buf[64];
+func main() {
+  var i;
+  for (i = 0; i < 64; i = i + 1) { buf[i] = i * i; }
+  var sum = 0;
+  for (i = 0; i < 64; i = i + 1) { sum = sum + buf[i]; }
+  return sum + buf[10];
+}`
+	// sum i^2 for 0..63 = 63*64*127/6 = 85344; + buf[10]=100.
+	if got := compileAndRun(t, src); got != 85444 {
+		t.Errorf("got %d, want 85444", got)
+	}
+}
+
+func TestArrayExprIndices(t *testing.T) {
+	src := `
+var a[16];
+func main() {
+  var i;
+  for (i = 0; i < 16; i = i + 1) { a[i] = i; }
+  return a[a[3] + a[4]] + a[15 & 7];
+}`
+	// a[7] + a[7] = 14.
+	if got := compileAndRun(t, src); got != 14 {
+		t.Errorf("got %d, want 14", got)
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	cases := map[string]string{
+		"index non-array":  `var x = 1; func main() { return x[0]; }`,
+		"store non-array":  `var x = 1; func main() { x[0] = 1; return 0; }`,
+		"const array":      `const c[4]; func main() { return 0; }`,
+		"bad size":         `var a[0]; func main() { return 0; }`,
+		"non-literal size": `var a[n]; func main() { return 0; }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Compile(src, "bad"); err == nil {
+				t.Errorf("accepted: %s", src)
+			}
+		})
+	}
+}
+
+// A MiniC streaming kernel carried through the §3.5 prefetch pipeline:
+// source language → front end → PGO → miss profile → prefetch insertion.
+func TestArrayStreamingCompiles(t *testing.T) {
+	src := `
+var data[131072]; // 1MB
+func main() {
+  var pass; var i; var sum = 0;
+  for (pass = 0; pass < 3; pass = pass + 1) {
+    for (i = 0; i < 131072; i = i + 8) { // one load per cache line
+      sum = sum + data[i];
+    }
+  }
+  return sum;
+}`
+	if got := compileAndRun(t, src); got != 0 {
+		t.Errorf("got %d, want 0 (zero-initialized array)", got)
+	}
+}

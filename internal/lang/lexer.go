@@ -1,0 +1,145 @@
+// Package lang implements MiniC, a small C-like language compiled to the
+// toolchain's IR. It plays Clang's role in the reproduction: a real source
+// path into the compiler, used by the examples and tests. The language is
+// 64-bit-integer only, with functions, globals, locals, control flow
+// (if/while/for/switch), exceptions (try/catch/throw), and calls.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"var": true, "const": true, "func": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"switch": true, "case": true, "default": true,
+	"return": true, "throw": true, "try": true, "catch": true,
+}
+
+// twoCharPuncts are matched before single characters.
+var twoCharPuncts = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "<<": true, ">>": true,
+	"&&": true, "||": true,
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+// lex tokenizes src, reporting the first error with its line number.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: []rune(src), line: 1}
+	var toks []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+	}
+	return r
+}
+
+func (lx *lexer) next() (token, error) {
+	// Skip whitespace and // comments.
+	for lx.pos < len(lx.src) {
+		r := lx.peekRune()
+		if unicode.IsSpace(r) {
+			lx.advance()
+			continue
+		}
+		if r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+			for lx.pos < len(lx.src) && lx.peekRune() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: lx.line}, nil
+	}
+	line := lx.line
+	r := lx.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := lx.pos
+		for lx.pos < len(lx.src) && (unicode.IsLetter(lx.peekRune()) || unicode.IsDigit(lx.peekRune()) || lx.peekRune() == '_') {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.pos])
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line}, nil
+	case unicode.IsDigit(r):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (unicode.IsDigit(lx.peekRune()) || lx.peekRune() == 'x' ||
+			(lx.peekRune() >= 'a' && lx.peekRune() <= 'f') || (lx.peekRune() >= 'A' && lx.peekRune() <= 'F')) {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.pos])
+		n, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("lang: line %d: bad number %q", line, text)
+		}
+		return token{kind: tokNumber, text: text, num: n, line: line}, nil
+	default:
+		// Two-character punctuation first.
+		if lx.pos+1 < len(lx.src) {
+			two := string(lx.src[lx.pos : lx.pos+2])
+			if twoCharPuncts[two] {
+				lx.advance()
+				lx.advance()
+				return token{kind: tokPunct, text: two, line: line}, nil
+			}
+		}
+		switch r {
+		case '+', '-', '*', '/', '%', '&', '|', '^', '<', '>', '=', '!',
+			'(', ')', '{', '}', '[', ']', ',', ';', ':':
+			lx.advance()
+			return token{kind: tokPunct, text: string(r), line: line}, nil
+		}
+		return token{}, fmt.Errorf("lang: line %d: unexpected character %q", line, r)
+	}
+}

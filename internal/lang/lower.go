@@ -1,0 +1,643 @@
+package lang
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+)
+
+// Lowering: AST → IR. The generated code is deliberately -O0 flavored —
+// locals live in stack slots addressed off the frame pointer (r14),
+// expressions evaluate into a small register stack (r1..r9), and every
+// function body is a fresh CFG — because the interesting optimizations in
+// this repository happen later, in PGO and Propeller.
+//
+// Calling convention (matches the rest of the toolchain): arguments in
+// r0..r3, result in r0, r12/r13 reserved for codegen, FP=r14 and SP=r15
+// preserved across calls; everything else is clobbered by a call.
+
+const (
+	regFP       = isa.RegFP
+	regSP       = isa.RegSP
+	exprRegBase = 1 // expression depth d lives in register 1+d
+	maxDepth    = 8 // r1..r9
+)
+
+// Compile parses and lowers MiniC source into an IR module.
+func Compile(src, moduleName string) (*ir.Module, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	m := ir.NewModule(moduleName)
+	lw := &lowerer{
+		m:       m,
+		globals: map[string]*globalDecl{},
+		funcs:   map[string]*funcDecl{},
+	}
+	for _, g := range prog.globals {
+		if _, dup := lw.globals[g.name]; dup {
+			return nil, fmt.Errorf("lang: line %d: duplicate global %s", g.line, g.name)
+		}
+		lw.globals[g.name] = g
+		if g.elems > 0 {
+			m.AddGlobal(&ir.Global{Name: g.name, Size: 8 * g.elems})
+			continue
+		}
+		init := make([]byte, 8)
+		binary.LittleEndian.PutUint64(init, uint64(g.init))
+		m.AddGlobal(&ir.Global{Name: g.name, Size: 8, Init: init, ReadOnly: g.readOnly})
+	}
+	for _, f := range prog.funcs {
+		if _, dup := lw.funcs[f.name]; dup {
+			return nil, fmt.Errorf("lang: line %d: duplicate function %s", f.line, f.name)
+		}
+		if _, clash := lw.globals[f.name]; clash {
+			return nil, fmt.Errorf("lang: line %d: %s is already a global", f.line, f.name)
+		}
+		lw.funcs[f.name] = f
+	}
+	for _, f := range prog.funcs {
+		if err := lw.lowerFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("lang: internal error: %w", err)
+	}
+	return m, nil
+}
+
+type lowerer struct {
+	m       *ir.Module
+	globals map[string]*globalDecl
+	funcs   map[string]*funcDecl
+}
+
+// funcCtx is per-function lowering state.
+type funcCtx struct {
+	lw    *lowerer
+	f     *ir.Func
+	cur   *ir.Block
+	slots map[string]int // local name -> slot
+	pad   *ir.Block      // active landing pad (inside try), or nil
+	done  bool           // cur already carries a terminator
+}
+
+func countVars(stmts []stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *varStmt:
+			n++
+		case *blockStmt:
+			n += countVars(s.stmts)
+		case *ifStmt:
+			n += countVars(s.then.stmts)
+			if s.els != nil {
+				n += countVars([]stmt{s.els})
+			}
+		case *whileStmt:
+			n += countVars(s.body.stmts)
+		case *forStmt:
+			if s.init != nil {
+				n += countVars([]stmt{s.init})
+			}
+			n += countVars(s.body.stmts)
+		case *switchStmt:
+			for _, arm := range s.cases {
+				n += countVars(arm)
+			}
+			n += countVars(s.def)
+		case *tryStmt:
+			n += countVars(s.body.stmts) + countVars(s.catch.stmts)
+		}
+	}
+	return n
+}
+
+func (lw *lowerer) lowerFunc(fd *funcDecl) error {
+	f := lw.m.NewFunc(fd.name, len(fd.params))
+	fc := &funcCtx{lw: lw, f: f, cur: f.Entry(), slots: map[string]int{}}
+
+	nLocals := len(fd.params) + countVars(fd.body.stmts)
+	// Prologue: save FP, establish the frame, reserve locals.
+	fc.emit(ir.Inst{Op: isa.OpPush, A: regFP})
+	fc.emit(ir.Inst{Op: isa.OpMovRR, A: regFP, B: regSP})
+	if nLocals > 0 {
+		fc.emit(ir.Inst{Op: isa.OpAddI, A: regSP, Imm: int64(-8 * nLocals)})
+	}
+	for i, p := range fd.params {
+		if _, dup := fc.slots[p]; dup {
+			return fmt.Errorf("lang: line %d: duplicate parameter %s", fd.line, p)
+		}
+		fc.slots[p] = len(fc.slots)
+		fc.emit(ir.Inst{Op: isa.OpStore, A: regFP, B: byte(i), Imm: fc.slotOff(fc.slots[p])})
+	}
+	if err := fc.lowerBlock(fd.body); err != nil {
+		return err
+	}
+	if !fc.done {
+		// Implicit `return 0`.
+		fc.emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 0})
+		fc.epilogueAndReturn()
+	}
+	return nil
+}
+
+func (fc *funcCtx) slotOff(slot int) int64 { return int64(-8 * (slot + 1)) }
+
+func (fc *funcCtx) emit(in ir.Inst) {
+	if fc.done {
+		// Unreachable code after return/throw: park it in a fresh block.
+		fc.startBlock(fc.f.NewBlock())
+	}
+	fc.cur.Emit(in)
+}
+
+func (fc *funcCtx) startBlock(b *ir.Block) {
+	fc.cur = b
+	fc.done = false
+}
+
+func (fc *funcCtx) terminate(set func(*ir.Block)) {
+	if fc.done {
+		fc.startBlock(fc.f.NewBlock())
+	}
+	set(fc.cur)
+	fc.done = true
+}
+
+func (fc *funcCtx) epilogueAndReturn() {
+	fc.emit(ir.Inst{Op: isa.OpMovRR, A: regSP, B: regFP})
+	fc.emit(ir.Inst{Op: isa.OpPop, A: regFP})
+	fc.terminate(func(b *ir.Block) { b.Return() })
+}
+
+func (fc *funcCtx) lowerBlock(b *blockStmt) error {
+	for _, s := range b.stmts {
+		if err := fc.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *funcCtx) lowerStmt(s stmt) error {
+	switch s := s.(type) {
+	case *blockStmt:
+		return fc.lowerBlock(s)
+	case *varStmt:
+		if _, dup := fc.slots[s.name]; dup {
+			return fmt.Errorf("lang: line %d: %s already declared in this function", s.line, s.name)
+		}
+		fc.slots[s.name] = len(fc.slots)
+		if s.init != nil {
+			if err := fc.evalExpr(s.init, 0); err != nil {
+				return err
+			}
+			fc.emit(ir.Inst{Op: isa.OpStore, A: regFP, B: reg(0), Imm: fc.slotOff(fc.slots[s.name])})
+		}
+		return nil
+	case *assignStmt:
+		if err := fc.evalExpr(s.val, 0); err != nil {
+			return err
+		}
+		return fc.storeVar(s.name, reg(0), s.line)
+	case *indexAssignStmt:
+		g, ok := fc.lw.globals[s.name]
+		if !ok || g.elems == 0 {
+			return fmt.Errorf("lang: line %d: %s is not an array", s.line, s.name)
+		}
+		if err := fc.evalExpr(s.val, 0); err != nil {
+			return err
+		}
+		if err := fc.evalExpr(s.idx, 1); err != nil {
+			return err
+		}
+		fc.emitIndexAddr(1) // address of element in reg(1)
+		fc.emit(ir.Inst{Op: isa.OpMovI64, A: reg(2), Sym: s.name})
+		fc.emit(ir.Inst{Op: isa.OpAdd, A: reg(1), B: reg(2)})
+		fc.emit(ir.Inst{Op: isa.OpStore, A: reg(1), B: reg(0)})
+		return nil
+	case *exprStmt:
+		return fc.evalExpr(s.e, 0)
+	case *returnStmt:
+		if s.val != nil {
+			if err := fc.evalExpr(s.val, 0); err != nil {
+				return err
+			}
+			fc.emit(ir.Inst{Op: isa.OpMovRR, A: 0, B: reg(0)})
+		} else {
+			fc.emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 0})
+		}
+		fc.epilogueAndReturn()
+		return nil
+	case *throwStmt:
+		fc.terminate(func(b *ir.Block) { b.Throw() })
+		return nil
+	case *ifStmt:
+		then := fc.f.NewBlock()
+		join := fc.f.NewBlock()
+		els := join
+		if s.els != nil {
+			els = fc.f.NewBlock()
+		}
+		if err := fc.condBranch(s.cond, then, els); err != nil {
+			return err
+		}
+		fc.startBlock(then)
+		if err := fc.lowerBlock(s.then); err != nil {
+			return err
+		}
+		if !fc.done {
+			fc.terminate(func(b *ir.Block) { b.Jump(join) })
+		}
+		if s.els != nil {
+			fc.startBlock(els)
+			if err := fc.lowerStmt(s.els); err != nil {
+				return err
+			}
+			if !fc.done {
+				fc.terminate(func(b *ir.Block) { b.Jump(join) })
+			}
+		}
+		fc.startBlock(join)
+		return nil
+	case *whileStmt:
+		cond := fc.f.NewBlock()
+		body := fc.f.NewBlock()
+		exit := fc.f.NewBlock()
+		fc.terminate(func(b *ir.Block) { b.Jump(cond) })
+		fc.startBlock(cond)
+		if err := fc.condBranch(s.cond, body, exit); err != nil {
+			return err
+		}
+		fc.startBlock(body)
+		if err := fc.lowerBlock(s.body); err != nil {
+			return err
+		}
+		if !fc.done {
+			fc.terminate(func(b *ir.Block) { b.Jump(cond) })
+		}
+		fc.startBlock(exit)
+		return nil
+	case *forStmt:
+		if s.init != nil {
+			if err := fc.lowerStmt(s.init); err != nil {
+				return err
+			}
+		}
+		cond := fc.f.NewBlock()
+		body := fc.f.NewBlock()
+		exit := fc.f.NewBlock()
+		fc.terminate(func(b *ir.Block) { b.Jump(cond) })
+		fc.startBlock(cond)
+		if s.cond != nil {
+			if err := fc.condBranch(s.cond, body, exit); err != nil {
+				return err
+			}
+		} else {
+			fc.terminate(func(b *ir.Block) { b.Jump(body) })
+		}
+		fc.startBlock(body)
+		if err := fc.lowerBlock(s.body); err != nil {
+			return err
+		}
+		if s.post != nil && !fc.done {
+			if err := fc.lowerStmt(s.post); err != nil {
+				return err
+			}
+		}
+		if !fc.done {
+			fc.terminate(func(b *ir.Block) { b.Jump(cond) })
+		}
+		fc.startBlock(exit)
+		return nil
+	case *switchStmt:
+		return fc.lowerSwitch(s)
+	case *tryStmt:
+		pad := fc.f.NewBlock()
+		pad.LandingPad = true
+		join := fc.f.NewBlock()
+		fc.f.HasEH = true
+		prevPad := fc.pad
+		fc.pad = pad
+		if err := fc.lowerBlock(s.body); err != nil {
+			return err
+		}
+		fc.pad = prevPad
+		if !fc.done {
+			fc.terminate(func(b *ir.Block) { b.Jump(join) })
+		}
+		fc.startBlock(pad)
+		if err := fc.lowerBlock(s.catch); err != nil {
+			return err
+		}
+		if !fc.done {
+			fc.terminate(func(b *ir.Block) { b.Jump(join) })
+		}
+		fc.startBlock(join)
+		return nil
+	}
+	return fmt.Errorf("lang: line %d: unhandled statement", s.stmtLine())
+}
+
+func (fc *funcCtx) lowerSwitch(s *switchStmt) error {
+	if err := fc.evalExpr(s.val, 0); err != nil {
+		return err
+	}
+	join := fc.f.NewBlock()
+	def := join
+	if s.def != nil {
+		def = fc.f.NewBlock()
+	}
+	n := len(s.cases)
+	if n == 0 {
+		// Only a default arm (or nothing).
+		fc.terminate(func(b *ir.Block) { b.Jump(def) })
+		if s.def != nil {
+			fc.startBlock(def)
+			for _, st := range s.def {
+				if err := fc.lowerStmt(st); err != nil {
+					return err
+				}
+			}
+			if !fc.done {
+				fc.terminate(func(b *ir.Block) { b.Jump(join) })
+			}
+		}
+		fc.startBlock(join)
+		return nil
+	}
+	// Bounds checks route out-of-range values to default.
+	low := fc.f.NewBlock()
+	fc.emit(ir.Inst{Op: isa.OpCmpI, A: reg(0), Imm: 0})
+	fc.terminate(func(b *ir.Block) { b.Branch(isa.CondLT, def, low) })
+	fc.startBlock(low)
+	dispatch := fc.f.NewBlock()
+	fc.emit(ir.Inst{Op: isa.OpCmpI, A: reg(0), Imm: int64(n)})
+	fc.terminate(func(b *ir.Block) { b.Branch(isa.CondGE, def, dispatch) })
+	fc.startBlock(dispatch)
+
+	targets := make([]*ir.Block, n)
+	arms := make([]*ir.Block, n)
+	for i, arm := range s.cases {
+		if arm == nil {
+			targets[i] = def
+			continue
+		}
+		arms[i] = fc.f.NewBlock()
+		targets[i] = arms[i]
+	}
+	fc.terminate(func(b *ir.Block) { b.Switch(reg(0), targets...) })
+	for i, arm := range s.cases {
+		if arm == nil {
+			continue
+		}
+		fc.startBlock(arms[i])
+		for _, st := range arm {
+			if err := fc.lowerStmt(st); err != nil {
+				return err
+			}
+		}
+		if !fc.done {
+			fc.terminate(func(b *ir.Block) { b.Jump(join) })
+		}
+	}
+	if s.def != nil {
+		fc.startBlock(def)
+		for _, st := range s.def {
+			if err := fc.lowerStmt(st); err != nil {
+				return err
+			}
+		}
+		if !fc.done {
+			fc.terminate(func(b *ir.Block) { b.Jump(join) })
+		}
+	}
+	fc.startBlock(join)
+	return nil
+}
+
+// reg maps expression depth to its register.
+func reg(depth int) byte { return byte(exprRegBase + depth) }
+
+// storeVar writes the register into a local slot or a global.
+func (fc *funcCtx) storeVar(name string, src byte, line int) error {
+	if slot, ok := fc.slots[name]; ok {
+		fc.emit(ir.Inst{Op: isa.OpStore, A: regFP, B: src, Imm: fc.slotOff(slot)})
+		return nil
+	}
+	if g, ok := fc.lw.globals[name]; ok {
+		if g.readOnly {
+			return fmt.Errorf("lang: line %d: cannot assign to const %s", line, name)
+		}
+		// The address materializes in the codegen scratch register, which
+		// never carries live program values.
+		fc.emit(ir.Inst{Op: isa.OpMovI64, A: isa.RegScratch, Sym: name})
+		fc.emit(ir.Inst{Op: isa.OpStore, A: isa.RegScratch, B: src})
+		return nil
+	}
+	return fmt.Errorf("lang: line %d: undefined variable %s", line, name)
+}
+
+// condBranch lowers a boolean context: comparisons branch directly; other
+// expressions compare against zero.
+func (fc *funcCtx) condBranch(e expr, t, f *ir.Block) error {
+	if b, ok := e.(*binExpr); ok {
+		if cond, isCmp := cmpCond(b.op); isCmp {
+			if err := fc.evalExpr(b.l, 0); err != nil {
+				return err
+			}
+			if err := fc.evalExpr(b.r, 1); err != nil {
+				return err
+			}
+			fc.emit(ir.Inst{Op: isa.OpCmp, A: reg(0), B: reg(1)})
+			fc.terminate(func(blk *ir.Block) { blk.Branch(cond, t, f) })
+			return nil
+		}
+	}
+	if err := fc.evalExpr(e, 0); err != nil {
+		return err
+	}
+	fc.emit(ir.Inst{Op: isa.OpCmpI, A: reg(0), Imm: 0})
+	fc.terminate(func(blk *ir.Block) { blk.Branch(isa.CondNE, t, f) })
+	return nil
+}
+
+func cmpCond(op string) (isa.Cond, bool) {
+	switch op {
+	case "==":
+		return isa.CondEQ, true
+	case "!=":
+		return isa.CondNE, true
+	case "<":
+		return isa.CondLT, true
+	case "<=":
+		return isa.CondLE, true
+	case ">":
+		return isa.CondGT, true
+	case ">=":
+		return isa.CondGE, true
+	}
+	return 0, false
+}
+
+var binOps = map[string]isa.Op{
+	"+": isa.OpAdd, "-": isa.OpSub, "*": isa.OpMul, "/": isa.OpDiv, "%": isa.OpMod,
+	"&": isa.OpAnd, "|": isa.OpOr, "^": isa.OpXor, "<<": isa.OpShl, ">>": isa.OpShr,
+}
+
+// evalExpr leaves the expression value in reg(d).
+func (fc *funcCtx) evalExpr(e expr, d int) error {
+	if d > maxDepth {
+		return fmt.Errorf("lang: line %d: expression too deeply nested", e.exprLine())
+	}
+	switch e := e.(type) {
+	case *numExpr:
+		op := isa.OpMovI
+		if !isa.FitsRel32(e.val) {
+			op = isa.OpMovI64
+		}
+		fc.emit(ir.Inst{Op: op, A: reg(d), Imm: e.val})
+		return nil
+	case *identExpr:
+		if slot, ok := fc.slots[e.name]; ok {
+			fc.emit(ir.Inst{Op: isa.OpLoad, A: regFP, B: reg(d), Imm: fc.slotOff(slot)})
+			return nil
+		}
+		if _, ok := fc.lw.globals[e.name]; ok {
+			fc.emit(ir.Inst{Op: isa.OpMovI64, A: reg(d), Sym: e.name})
+			fc.emit(ir.Inst{Op: isa.OpLoad, A: reg(d), B: reg(d)})
+			return nil
+		}
+		return fmt.Errorf("lang: line %d: undefined variable %s", e.line, e.name)
+	case *unaryExpr:
+		if err := fc.evalExpr(e.e, d); err != nil {
+			return err
+		}
+		switch e.op {
+		case "-":
+			fc.emit(ir.Inst{Op: isa.OpMovRR, A: reg(d + 1), B: reg(d)})
+			fc.emit(ir.Inst{Op: isa.OpMovI, A: reg(d), Imm: 0})
+			fc.emit(ir.Inst{Op: isa.OpSub, A: reg(d), B: reg(d + 1)})
+		case "!":
+			fc.emit(ir.Inst{Op: isa.OpCmpI, A: reg(d), Imm: 0})
+			fc.materializeBool(isa.CondEQ, d)
+		}
+		return nil
+	case *binExpr:
+		if cond, isCmp := cmpCond(e.op); isCmp {
+			if err := fc.evalExpr(e.l, d); err != nil {
+				return err
+			}
+			if err := fc.evalExpr(e.r, d+1); err != nil {
+				return err
+			}
+			fc.emit(ir.Inst{Op: isa.OpCmp, A: reg(d), B: reg(d + 1)})
+			fc.materializeBool(cond, d)
+			return nil
+		}
+		if e.op == "&&" || e.op == "||" {
+			// Non-short-circuit logical operators: boolify then combine.
+			if err := fc.evalExpr(e.l, d); err != nil {
+				return err
+			}
+			fc.emit(ir.Inst{Op: isa.OpCmpI, A: reg(d), Imm: 0})
+			fc.materializeBool(isa.CondNE, d)
+			if err := fc.evalExpr(e.r, d+1); err != nil {
+				return err
+			}
+			fc.emit(ir.Inst{Op: isa.OpCmpI, A: reg(d + 1), Imm: 0})
+			fc.materializeBool(isa.CondNE, d+1)
+			op := isa.OpAnd
+			if e.op == "||" {
+				op = isa.OpOr
+			}
+			fc.emit(ir.Inst{Op: op, A: reg(d), B: reg(d + 1)})
+			return nil
+		}
+		op, ok := binOps[e.op]
+		if !ok {
+			return fmt.Errorf("lang: line %d: unsupported operator %q", e.line, e.op)
+		}
+		if err := fc.evalExpr(e.l, d); err != nil {
+			return err
+		}
+		if err := fc.evalExpr(e.r, d+1); err != nil {
+			return err
+		}
+		fc.emit(ir.Inst{Op: op, A: reg(d), B: reg(d + 1)})
+		return nil
+	case *callExpr:
+		return fc.evalCall(e, d)
+	case *indexExpr:
+		g, ok := fc.lw.globals[e.name]
+		if !ok || g.elems == 0 {
+			return fmt.Errorf("lang: line %d: %s is not an array", e.line, e.name)
+		}
+		if d+1 > maxDepth {
+			return fmt.Errorf("lang: line %d: expression too deeply nested", e.line)
+		}
+		if err := fc.evalExpr(e.idx, d); err != nil {
+			return err
+		}
+		fc.emitIndexAddr(d)
+		fc.emit(ir.Inst{Op: isa.OpMovI64, A: reg(d + 1), Sym: e.name})
+		fc.emit(ir.Inst{Op: isa.OpAdd, A: reg(d), B: reg(d + 1)})
+		fc.emit(ir.Inst{Op: isa.OpLoad, A: reg(d), B: reg(d)})
+		return nil
+	}
+	return fmt.Errorf("lang: line %d: unhandled expression", e.exprLine())
+}
+
+// emitIndexAddr scales the element index in reg(d) to a byte offset
+// (index * 8), clobbering reg(d+1). Array accesses are unchecked, like C.
+func (fc *funcCtx) emitIndexAddr(d int) {
+	fc.emit(ir.Inst{Op: isa.OpMovI, A: reg(d + 1), Imm: 3})
+	fc.emit(ir.Inst{Op: isa.OpShl, A: reg(d), B: reg(d + 1)})
+}
+
+// materializeBool turns the current flags into 0/1 in reg(d).
+func (fc *funcCtx) materializeBool(cond isa.Cond, d int) {
+	t := fc.f.NewBlock()
+	f := fc.f.NewBlock()
+	join := fc.f.NewBlock()
+	fc.terminate(func(b *ir.Block) { b.Branch(cond, t, f) })
+	t.Emit(ir.Inst{Op: isa.OpMovI, A: reg(d), Imm: 1})
+	t.Jump(join)
+	f.Emit(ir.Inst{Op: isa.OpMovI, A: reg(d), Imm: 0})
+	f.Jump(join)
+	fc.startBlock(join)
+}
+
+// evalCall evaluates arguments, protects live expression temps across the
+// call, marshals arguments into r0..r3, and retrieves the result.
+func (fc *funcCtx) evalCall(e *callExpr, d int) error {
+	if _, ok := fc.lw.funcs[e.name]; !ok {
+		return fmt.Errorf("lang: line %d: undefined function %s", e.line, e.name)
+	}
+	for i, arg := range e.args {
+		if err := fc.evalExpr(arg, d+i); err != nil {
+			return err
+		}
+	}
+	// Save live temps r1..reg(d-1) plus nothing else: the argument values
+	// sit above them and die at the call.
+	for i := 0; i < d; i++ {
+		fc.emit(ir.Inst{Op: isa.OpPush, A: reg(i)})
+	}
+	// Marshal arguments downward: src register index always exceeds dst.
+	for i := range e.args {
+		fc.emit(ir.Inst{Op: isa.OpMovRR, A: byte(i), B: reg(d + i)})
+	}
+	fc.emit(ir.Inst{Op: isa.OpCall, Sym: e.name, Pad: fc.pad})
+	for i := d - 1; i >= 0; i-- {
+		fc.emit(ir.Inst{Op: isa.OpPop, A: reg(i)})
+	}
+	fc.emit(ir.Inst{Op: isa.OpMovRR, A: reg(d), B: 0})
+	return nil
+}

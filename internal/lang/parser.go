@@ -1,0 +1,555 @@
+package lang
+
+import "fmt"
+
+// Recursive-descent parser with precedence-climbing expressions.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) is(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && t.text == text
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.is(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.is(tokKeyword, "var"), p.is(tokKeyword, "const"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case p.is(tokKeyword, "func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, p.errf("expected declaration, found %q", p.cur().text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobal() (*globalDecl, error) {
+	ro := p.cur().text == "const"
+	line := p.next().line // var/const
+	if p.cur().kind != tokIdent {
+		return nil, p.errf("expected global name")
+	}
+	g := &globalDecl{name: p.next().text, readOnly: ro, line: line}
+	if p.accept(tokPunct, "[") {
+		if ro {
+			return nil, p.errf("const arrays are not supported")
+		}
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("array size must be a number literal")
+		}
+		g.elems = p.next().num
+		if g.elems <= 0 || g.elems > 1<<24 {
+			return nil, p.errf("array size %d out of range", g.elems)
+		}
+		if err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return g, p.expect(tokPunct, ";")
+	}
+	if p.accept(tokPunct, "=") {
+		neg := p.accept(tokPunct, "-")
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("global initializer must be a number literal")
+		}
+		g.init = p.next().num
+		if neg {
+			g.init = -g.init
+		}
+	} else if ro {
+		return nil, p.errf("const %s needs an initializer", g.name)
+	}
+	return g, p.expect(tokPunct, ";")
+}
+
+func (p *parser) parseFunc() (*funcDecl, error) {
+	line := p.next().line // func
+	if p.cur().kind != tokIdent {
+		return nil, p.errf("expected function name")
+	}
+	f := &funcDecl{name: p.next().text, line: line}
+	if err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.is(tokPunct, ")") {
+		if len(f.params) > 0 {
+			if err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected parameter name")
+		}
+		f.params = append(f.params, p.next().text)
+	}
+	p.next() // )
+	if len(f.params) > 4 {
+		return nil, fmt.Errorf("lang: line %d: %s: at most 4 parameters (registers r0-r3)", line, f.name)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() (*blockStmt, error) {
+	line := p.cur().line
+	if err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{line: line}
+	for !p.accept(tokPunct, "}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is(tokPunct, "{"):
+		return p.parseBlock()
+	case p.is(tokKeyword, "var"):
+		p.next()
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		s := &varStmt{name: p.next().text, line: t.line}
+		if p.accept(tokPunct, "=") {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			s.init = e
+		}
+		return s, p.expect(tokPunct, ";")
+	case p.is(tokKeyword, "if"):
+		return p.parseIf()
+	case p.is(tokKeyword, "while"):
+		p.next()
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+	case p.is(tokKeyword, "for"):
+		return p.parseFor()
+	case p.is(tokKeyword, "switch"):
+		return p.parseSwitch()
+	case p.is(tokKeyword, "return"):
+		p.next()
+		s := &returnStmt{line: t.line}
+		if !p.is(tokPunct, ";") {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			s.val = e
+		}
+		return s, p.expect(tokPunct, ";")
+	case p.is(tokKeyword, "throw"):
+		p.next()
+		return &throwStmt{line: t.line}, p.expect(tokPunct, ";")
+	case p.is(tokKeyword, "try"):
+		p.next()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "catch"); err != nil {
+			return nil, err
+		}
+		catch, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &tryStmt{body: body, catch: catch, line: t.line}, nil
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=":
+		name := p.next().text
+		p.next() // =
+		val, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{name: name, val: val, line: t.line}, p.expect(tokPunct, ";")
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "[":
+		name := p.next().text
+		p.next() // [
+		idx, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		return &indexAssignStmt{name: name, idx: idx, val: val, line: t.line}, p.expect(tokPunct, ";")
+	default:
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{e: e, line: t.line}, p.expect(tokPunct, ";")
+	}
+}
+
+func (p *parser) parseIf() (stmt, error) {
+	line := p.next().line // if
+	if err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{cond: cond, then: then, line: line}
+	if p.accept(tokKeyword, "else") {
+		if p.is(tokKeyword, "if") {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+	}
+	return s, nil
+}
+
+// parseFor handles: for (init; cond; post) { ... } where init/post are
+// assignments or `var` declarations and any clause may be empty.
+func (p *parser) parseFor() (stmt, error) {
+	line := p.next().line // for
+	if err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	s := &forStmt{line: line}
+	if !p.is(tokPunct, ";") {
+		init, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.init = init
+	}
+	if err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(tokPunct, ";") {
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		s.cond = cond
+	}
+	if err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(tokPunct, ")") {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.post = post
+	}
+	if err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.body = body
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment or var declaration without the
+// trailing semicolon (for-clause form).
+func (p *parser) parseSimpleStmt() (stmt, error) {
+	t := p.cur()
+	if p.accept(tokKeyword, "var") {
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		s := &varStmt{name: p.next().text, line: t.line}
+		if p.accept(tokPunct, "=") {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			s.init = e
+		}
+		return s, nil
+	}
+	if t.kind != tokIdent {
+		return nil, p.errf("expected assignment")
+	}
+	name := p.next().text
+	if err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	return &assignStmt{name: name, val: val, line: t.line}, nil
+}
+
+func (p *parser) parseSwitch() (stmt, error) {
+	line := p.next().line // switch
+	if err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	s := &switchStmt{val: val, line: line}
+	caseBodies := map[int64][]stmt{}
+	var maxCase int64 = -1
+	for !p.accept(tokPunct, "}") {
+		switch {
+		case p.accept(tokKeyword, "case"):
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("case label must be a number literal")
+			}
+			n := p.next().num
+			if n < 0 || n > 255 {
+				return nil, p.errf("case label %d out of the supported 0..255 range", n)
+			}
+			if _, dup := caseBodies[n]; dup {
+				return nil, p.errf("duplicate case %d", n)
+			}
+			if err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseArm()
+			if err != nil {
+				return nil, err
+			}
+			caseBodies[n] = body
+			if n > maxCase {
+				maxCase = n
+			}
+		case p.accept(tokKeyword, "default"):
+			if err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseArm()
+			if err != nil {
+				return nil, err
+			}
+			if s.def != nil {
+				return nil, p.errf("duplicate default")
+			}
+			s.def = body
+			if s.def == nil {
+				s.def = []stmt{}
+			}
+		default:
+			return nil, p.errf("expected case or default, found %q", p.cur().text)
+		}
+	}
+	// Dense table 0..maxCase; missing cases fall to default.
+	s.cases = make([][]stmt, maxCase+1)
+	for n, body := range caseBodies {
+		s.cases[n] = body
+	}
+	return s, nil
+}
+
+// parseArm parses statements until the next case/default label or the
+// closing brace (no fallthrough: each arm is independent).
+func (p *parser) parseArm() ([]stmt, error) {
+	out := []stmt{}
+	for !p.is(tokKeyword, "case") && !p.is(tokKeyword, "default") && !p.is(tokPunct, "}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Operator precedence (higher binds tighter).
+var precedence = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			break
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			break
+		}
+		p.next()
+		rhs, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: t.text, l: lhs, r: rhs, line: t.line}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if p.accept(tokPunct, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "-", e: e, line: t.line}, nil
+	}
+	if p.accept(tokPunct, "!") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "!", e: e, line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &numExpr{val: t.num, line: t.line}, nil
+	case t.kind == tokIdent:
+		name := p.next().text
+		if p.accept(tokPunct, "[") {
+			idx, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: name, idx: idx, line: t.line}, p.expect(tokPunct, "]")
+		}
+		if p.accept(tokPunct, "(") {
+			call := &callExpr{name: name, line: t.line}
+			for !p.is(tokPunct, ")") {
+				if len(call.args) > 0 {
+					if err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, arg)
+			}
+			p.next() // )
+			if len(call.args) > 4 {
+				return nil, fmt.Errorf("lang: line %d: call to %s with more than 4 arguments", t.line, name)
+			}
+			return call, nil
+		}
+		return &identExpr{name: name, line: t.line}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(tokPunct, ")")
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}

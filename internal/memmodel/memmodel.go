@@ -1,0 +1,47 @@
+// Package memmodel provides deterministic peak-memory accounting for the
+// paper's Figure 4/5 comparisons. Tools register the byte footprint of
+// their dominant data structures in a Tracker; the tracker's high-water
+// mark stands in for max-RSS measurements.
+package memmodel
+
+// Tracker records a running byte total and its high-water mark.
+type Tracker struct {
+	cur  int64
+	peak int64
+}
+
+// Alloc adds n bytes to the live total.
+func (t *Tracker) Alloc(n int64) {
+	t.cur += n
+	if t.cur > t.peak {
+		t.peak = t.cur
+	}
+}
+
+// Free subtracts n bytes from the live total.
+func (t *Tracker) Free(n int64) {
+	t.cur -= n
+	if t.cur < 0 {
+		t.cur = 0
+	}
+}
+
+// Live returns the current live byte total.
+func (t *Tracker) Live() int64 { return t.cur }
+
+// Peak returns the high-water mark.
+func (t *Tracker) Peak() int64 { return t.peak }
+
+// Observe records an instantaneous footprint without changing the live
+// total: convenient for "this phase holds X bytes at once" models.
+func (t *Tracker) Observe(n int64) {
+	if t.cur+n > t.peak {
+		t.peak = t.cur + n
+	}
+}
+
+// GB expresses bytes as gigabytes.
+func GB(bytes int64) float64 { return float64(bytes) / (1 << 30) }
+
+// MB expresses bytes as megabytes.
+func MB(bytes int64) float64 { return float64(bytes) / (1 << 20) }

@@ -1,0 +1,44 @@
+package memmodel
+
+import "testing"
+
+func TestAllocFreePeak(t *testing.T) {
+	var tr Tracker
+	tr.Alloc(100)
+	tr.Alloc(50)
+	if tr.Live() != 150 || tr.Peak() != 150 {
+		t.Errorf("live=%d peak=%d", tr.Live(), tr.Peak())
+	}
+	tr.Free(120)
+	if tr.Live() != 30 || tr.Peak() != 150 {
+		t.Errorf("after free: live=%d peak=%d", tr.Live(), tr.Peak())
+	}
+	tr.Free(1000) // clamps at zero
+	if tr.Live() != 0 {
+		t.Errorf("live = %d", tr.Live())
+	}
+	if tr.Peak() != 150 {
+		t.Errorf("peak = %d", tr.Peak())
+	}
+}
+
+func TestObserve(t *testing.T) {
+	var tr Tracker
+	tr.Alloc(10)
+	tr.Observe(90)
+	if tr.Live() != 10 {
+		t.Errorf("Observe changed live: %d", tr.Live())
+	}
+	if tr.Peak() != 100 {
+		t.Errorf("peak = %d, want 100", tr.Peak())
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if GB(1<<30) != 1 {
+		t.Error("GB wrong")
+	}
+	if MB(1<<20) != 1 {
+		t.Error("MB wrong")
+	}
+}

@@ -1,0 +1,191 @@
+package objfile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Default load addresses for executables. Text starts high enough that
+// small addresses are caught as null-ish dereferences by the simulator.
+const (
+	DefaultTextBase = uint64(0x200000)
+	PageSize        = 4096
+	HugePageSize    = 2 << 20
+)
+
+// PlacedSection records where the linker put an input section.
+type PlacedSection struct {
+	Name string
+	Kind SectionKind
+	Addr uint64
+	Size int64
+}
+
+// FinalSym is a resolved symbol in an executable.
+type FinalSym struct {
+	Name string
+	Kind SymKind
+	Addr uint64
+	Size int64
+}
+
+// FinalReloc is a retained static relocation, rebased to the virtual
+// address of the patched location.
+type FinalReloc struct {
+	Addr   uint64 // virtual address of the patched instruction/slot
+	Type   RelocType
+	Sym    string
+	Addend int64
+}
+
+// Binary is a linked executable image.
+type Binary struct {
+	Entry uint64 // address of the entry function
+
+	TextBase   uint64
+	Text       []byte
+	RodataBase uint64
+	Rodata     []byte
+	DataBase   uint64
+	Data       []byte
+	BSSSize    int64
+
+	// Sections is the layout map of all placed sections, including
+	// non-loaded metadata; BOLT-style tools and the size accounting use it.
+	Sections []PlacedSection
+
+	// Symbols are all resolved global and section symbols.
+	Symbols []FinalSym
+
+	// BBAddrMap is the merged, address-rebased BB address map section, or
+	// nil when the metadata was not requested (plain binaries) or was
+	// dropped (cold objects in Phase 4 relinks keep no map).
+	BBAddrMap []byte
+
+	// EHFrame and LSDA are the merged unwinding metadata sections.
+	EHFrame []byte
+	LSDA    []byte
+
+	// Debug is the merged §4.3 debug-range metadata (when built with -g).
+	Debug []byte
+
+	// HasRelocInfo marks a binary linked with --emit-relocs (the "BM"
+	// configuration): rewriting tools require it even when Relas happens
+	// to be empty.
+	HasRelocInfo bool
+
+	// Relas are the static relocations retained in the output when the
+	// binary is built for a rewriting tool (BOLT requires them, §5.3).
+	// Each is resolved to its final virtual address.
+	Relas []FinalReloc
+
+	// RelaBytes models the on-disk size of the retained relocations
+	// (24 bytes each, like Elf64_Rela).
+	RelaBytes int64
+
+	// HugePages marks text mapped on 2M pages (affects iTLB simulation).
+	HugePages bool
+
+	// TextFileBytes, when non-zero, overrides the text size used by
+	// Stats(). Rewriting tools that append a new text segment leave an
+	// unloaded hole over the old rodata/data region; the hole occupies
+	// address space, not file bytes.
+	TextFileBytes int64
+}
+
+// SymbolByName returns the symbol with the given name.
+func (b *Binary) SymbolByName(name string) (FinalSym, bool) {
+	for _, s := range b.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return FinalSym{}, false
+}
+
+// SymbolAt returns the symbol whose [Addr, Addr+Size) range covers addr,
+// preferring function symbols.
+func (b *Binary) SymbolAt(addr uint64) (FinalSym, bool) {
+	var best FinalSym
+	found := false
+	for _, s := range b.Symbols {
+		if addr >= s.Addr && addr < s.Addr+uint64(s.Size) {
+			if !found || s.Kind == SymFunc || s.Kind == SymFuncPart {
+				best = s
+				found = true
+				if s.Kind == SymFunc {
+					break
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// FuncSyms returns all function and function-part symbols sorted by address.
+func (b *Binary) FuncSyms() []FinalSym {
+	var out []FinalSym
+	for _, s := range b.Symbols {
+		if s.Kind == SymFunc || s.Kind == SymFuncPart {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// TextEnd returns the first address past the text segment.
+func (b *Binary) TextEnd() uint64 { return b.TextBase + uint64(len(b.Text)) }
+
+// ReadText returns the text bytes covering [addr, addr+n), or an error if
+// the range leaves the segment.
+func (b *Binary) ReadText(addr uint64, n int) ([]byte, error) {
+	if addr < b.TextBase || addr+uint64(n) > b.TextEnd() {
+		return nil, fmt.Errorf("objfile: text read [%#x,+%d) outside segment [%#x,%#x)", addr, n, b.TextBase, b.TextEnd())
+	}
+	off := addr - b.TextBase
+	return b.Text[off : off+uint64(n)], nil
+}
+
+// Stats computes the Fig-6 style size breakdown of the binary.
+func (b *Binary) Stats() SizeStats {
+	var st SizeStats
+	st.Text = int64(len(b.Text))
+	if b.TextFileBytes > 0 {
+		st.Text = b.TextFileBytes
+	}
+	st.EHFrame = int64(len(b.EHFrame))
+	st.BBAddrMap = int64(len(b.BBAddrMap))
+	st.Relocs = b.RelaBytes
+	st.Other = int64(len(b.Rodata)) + int64(len(b.Data)) + int64(len(b.LSDA)) + int64(len(b.Debug))
+	for _, s := range b.Symbols {
+		st.Other += int64(len(s.Name)) + 24
+	}
+	return st
+}
+
+// Strip removes non-loaded metadata (BB address map, static relocations).
+// Unlike BOLTed binaries (§5.8), Propeller-optimized binaries remain
+// strippable; this models that property.
+func (b *Binary) Strip() {
+	b.BBAddrMap = nil
+	b.RelaBytes = 0
+	b.Relas = nil
+	b.HasRelocInfo = false
+}
+
+// Clone returns a deep copy of the binary image.
+func (b *Binary) Clone() *Binary {
+	nb := *b
+	nb.Text = append([]byte(nil), b.Text...)
+	nb.Rodata = append([]byte(nil), b.Rodata...)
+	nb.Data = append([]byte(nil), b.Data...)
+	nb.BBAddrMap = append([]byte(nil), b.BBAddrMap...)
+	nb.EHFrame = append([]byte(nil), b.EHFrame...)
+	nb.LSDA = append([]byte(nil), b.LSDA...)
+	nb.Debug = append([]byte(nil), b.Debug...)
+	nb.Sections = append([]PlacedSection(nil), b.Sections...)
+	nb.Symbols = append([]FinalSym(nil), b.Symbols...)
+	nb.Relas = append([]FinalReloc(nil), b.Relas...)
+	return &nb
+}

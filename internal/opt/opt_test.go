@@ -1,0 +1,213 @@
+package opt
+
+import (
+	"testing"
+
+	"propeller/internal/codegen"
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+	"propeller/internal/lang"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+	"propeller/internal/testprog"
+)
+
+func runModule(t *testing.T, m *ir.Module) (int64, uint64) {
+	t.Helper()
+	obj, err := codegen.Compile(m, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, _, err := linker.Link([]*objfile.Object{obj}, linker.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := sim.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: 50_000_000, DisableUarch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Exit, res.Insts
+}
+
+// Every fixture must behave identically before and after optimization,
+// and never get slower (in retired instructions).
+func TestSemanticsPreserved(t *testing.T) {
+	fixtures := []*ir.Module{
+		testprog.SumLoop(50),
+		testprog.Fib(12),
+		testprog.Switch(16),
+		testprog.Exceptions(12),
+		testprog.Globals(),
+		testprog.HotCold(500),
+		testprog.Integrity(20),
+	}
+	for _, m := range fixtures {
+		before, beforeInsts := runModule(t, m)
+		optimized := ir.CloneModule(m)
+		if _, err := Optimize(optimized); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		after, afterInsts := runModule(t, optimized)
+		if before != after {
+			t.Errorf("%s: optimization changed result: %d vs %d", m.Name, before, after)
+		}
+		if afterInsts > beforeInsts {
+			t.Errorf("%s: optimization added instructions: %d vs %d", m.Name, afterInsts, beforeInsts)
+		}
+	}
+}
+
+// MiniC output is -O0 flavored and full of folding opportunities.
+func TestOptimizesMiniCOutput(t *testing.T) {
+	src := `
+func work(n) {
+  var a = 2 + 3 * 4;       // constant
+  var b = a * 2;           // propagates
+  if (1 < 2) { b = b + n; } // decided branch
+  else { b = 0 - 1000000; }
+  return b;
+}
+func main() {
+  var i; var sum = 0;
+  for (i = 0; i < 200; i = i + 1) { sum = sum + work(i); }
+  return sum;
+}`
+	m, err := lang.Compile(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, beforeInsts := runModule(t, m)
+	optimized := ir.CloneModule(m)
+	st, err := Optimize(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, afterInsts := runModule(t, optimized)
+	if before != after {
+		t.Fatalf("result changed: %d vs %d", before, after)
+	}
+	if st.Folded == 0 || st.BranchesGone == 0 || st.BlocksGone == 0 {
+		t.Errorf("passes did nothing: %+v", st)
+	}
+	if afterInsts >= beforeInsts {
+		t.Errorf("no dynamic instruction reduction: %d vs %d", afterInsts, beforeInsts)
+	}
+	t.Logf("opt: %+v; dynamic insts %d -> %d (%.1f%%)", st, beforeInsts, afterInsts,
+		100*float64(afterInsts)/float64(beforeInsts))
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	m := ir.NewModule("m")
+	f := m.NewFunc("main", 0)
+	e := f.Entry()
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 10})
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 1, Imm: 0})
+	e.Emit(ir.Inst{Op: isa.OpDiv, A: 0, B: 1})
+	e.Halt()
+	if _, err := Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	// The trap must survive.
+	found := false
+	for _, in := range f.Entry().Ins {
+		if in.Op == isa.OpDiv {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("division by zero folded away")
+	}
+}
+
+func TestBranchFoldingRemovesDeadSide(t *testing.T) {
+	m := ir.NewModule("m")
+	f := m.NewFunc("main", 0)
+	e := f.Entry()
+	dead := f.NewBlock()
+	live := f.NewBlock()
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 5})
+	e.Emit(ir.Inst{Op: isa.OpCmpI, A: 0, Imm: 10})
+	e.Branch(isa.CondLT, live, dead)
+	dead.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: -1})
+	dead.Halt()
+	live.Emit(ir.Inst{Op: isa.OpAddI, A: 0, Imm: 1})
+	live.Halt()
+	st, err := Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BranchesGone == 0 {
+		t.Error("decidable branch kept")
+	}
+	for _, b := range f.Blocks {
+		if b == dead {
+			t.Error("dead side survived")
+		}
+	}
+	if got, _ := runModule(t, m); got != 6 {
+		t.Errorf("result = %d, want 6", got)
+	}
+}
+
+func TestJumpThreadingBypassesEmptyBlocks(t *testing.T) {
+	m := ir.NewModule("m")
+	f := m.NewFunc("main", 0)
+	e := f.Entry()
+	hop1 := f.NewBlock()
+	hop2 := f.NewBlock()
+	end := f.NewBlock()
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 9})
+	e.Jump(hop1)
+	hop1.Jump(hop2)
+	hop2.Jump(end)
+	end.Halt()
+	st, err := Optimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Threaded == 0 && st.BlocksGone == 0 {
+		t.Errorf("nothing threaded/merged: %+v", st)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("%d blocks remain, want 1 (fully merged)", len(f.Blocks))
+	}
+	if got, _ := runModule(t, m); got != 9 {
+		t.Errorf("result = %d", got)
+	}
+}
+
+func TestInfiniteEmptyLoopSurvives(t *testing.T) {
+	m := ir.NewModule("m")
+	f := m.NewFunc("main", 0)
+	spin := f.NewBlock()
+	f.Entry().Jump(spin)
+	spin.Jump(spin)
+	if _, err := Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLandingPadsSurvive(t *testing.T) {
+	m := testprog.Exceptions(6)
+	if _, err := Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	main := m.Func("main")
+	found := false
+	for _, b := range main.Blocks {
+		if b.LandingPad {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("landing pad eliminated")
+	}
+}

@@ -1,0 +1,263 @@
+package pgo
+
+import (
+	"testing"
+
+	"propeller/internal/codegen"
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+	"propeller/internal/testprog"
+)
+
+func trainCounts(t *testing.T, m *ir.Module) (Counts, *ir.Module) {
+	t.Helper()
+	instr, meta := Instrument(m)
+	obj, err := codegen.Compile(instr, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, _, err := linker.Link([]*objfile.Object{obj}, linker.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := sim.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: 10_000_000, DisableUarch: true, KeepMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ReadCounts(bin, res.DataImage, []*Meta{meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counts, instr
+}
+
+func TestInstrumentationCountsExact(t *testing.T) {
+	m := testprog.SumLoop(100)
+	counts, _ := trainCounts(t, m)
+	main := counts["main"]
+	if main == nil {
+		t.Fatal("no counts for main")
+	}
+	// Blocks: 0 entry, 1 loop, 2 done.
+	if main[0] != 1 {
+		t.Errorf("entry count = %d, want 1", main[0])
+	}
+	if main[1] != 100 {
+		t.Errorf("loop count = %d, want 100", main[1])
+	}
+	if main[2] != 1 {
+		t.Errorf("done count = %d, want 1", main[2])
+	}
+}
+
+func TestInstrumentationPreservesSemantics(t *testing.T) {
+	for _, m := range []*ir.Module{testprog.SumLoop(10), testprog.Fib(10), testprog.Switch(8)} {
+		instr, _ := Instrument(m)
+		for _, mod := range []*ir.Module{m, instr} {
+			obj, err := codegen.Compile(mod, codegen.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin, _, err := linker.Link([]*objfile.Object{obj}, linker.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach, _ := sim.Load(bin)
+			res, err := mach.Run(sim.Config{MaxInsts: 10_000_000, DisableUarch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mod == instr {
+				continue
+			}
+			// Compare against instrumented run.
+			obj2, _ := codegen.Compile(instr, codegen.Options{})
+			bin2, _, err := linker.Link([]*objfile.Object{obj2}, linker.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach2, _ := sim.Load(bin2)
+			res2, err := mach2.Run(sim.Config{MaxInsts: 10_000_000, DisableUarch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Exit != res2.Exit {
+				t.Errorf("%s: instrumentation changed exit: %d vs %d", m.Name, res.Exit, res2.Exit)
+			}
+		}
+	}
+}
+
+func TestApplySetsWeights(t *testing.T) {
+	m := testprog.SumLoop(50)
+	counts, _ := trainCounts(t, m)
+	Apply(m, counts)
+	loop := m.Func("main").Blocks[1]
+	if loop.Count != 50 {
+		t.Errorf("loop count = %d", loop.Count)
+	}
+	if len(loop.Term.Weights) != 2 {
+		t.Fatalf("no weights applied")
+	}
+	// Back edge (to loop) much heavier than exit.
+	if loop.Term.Weights[0] <= loop.Term.Weights[1] {
+		t.Errorf("weights = %v, expected back edge heavier", loop.Term.Weights)
+	}
+	if m.Func("main").EntryCount != 1 {
+		t.Errorf("entry count = %d", m.Func("main").EntryCount)
+	}
+}
+
+func TestLayoutBlocksMovesColdOut(t *testing.T) {
+	m := testprog.HotCold(1000) // already carries profile annotations
+	f := m.Func("main")
+	// Cold block 2 sits at index 2 (mid-function).
+	if f.Blocks[2].ID != 2 {
+		t.Fatal("fixture layout changed")
+	}
+	if err := LayoutBlocks(m); err != nil {
+		t.Fatal(err)
+	}
+	if f.Blocks[0] != f.Entry() {
+		t.Error("entry not first after layout")
+	}
+	// The cold block must no longer separate loop and latch.
+	pos := map[int]int{}
+	for i, b := range f.Blocks {
+		pos[b.ID] = i
+	}
+	if pos[2] < pos[3] {
+		t.Errorf("cold block still before latch: order %v", pos)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func makeLeaf(m *ir.Module, name string) *ir.Func {
+	f := m.NewFunc(name, 1)
+	f.Entry().Emit(ir.Inst{Op: isa.OpAddI, A: 0, Imm: 7})
+	f.Entry().Return()
+	return f
+}
+
+func TestCanInline(t *testing.T) {
+	m := ir.NewModule("m")
+	leaf := makeLeaf(m, "leaf")
+	if !CanInline(leaf, 48) {
+		t.Error("leaf should be inlinable")
+	}
+	if CanInline(leaf, 1) {
+		t.Error("size bound ignored")
+	}
+	caller := m.NewFunc("caller", 0)
+	caller.Entry().Emit(ir.Inst{Op: isa.OpCall, Sym: "leaf"})
+	caller.Entry().Return()
+	if CanInline(caller, 48) {
+		t.Error("non-leaf should not be inlinable")
+	}
+	pusher := m.NewFunc("pusher", 0)
+	pusher.Entry().Emit(ir.Inst{Op: isa.OpPush, A: 1})
+	pusher.Entry().Emit(ir.Inst{Op: isa.OpPop, A: 1})
+	pusher.Entry().Return()
+	if CanInline(pusher, 48) {
+		t.Error("stack-using function should not be inlinable")
+	}
+}
+
+func TestInlineCallSemantics(t *testing.T) {
+	m := ir.NewModule("m")
+	makeLeaf(m, "leaf")
+	main := m.NewFunc("main", 0)
+	e := main.Entry()
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 35})
+	e.Emit(ir.Inst{Op: isa.OpCall, Sym: "leaf"})
+	e.Emit(ir.Inst{Op: isa.OpAddI, A: 0, Imm: 0})
+	e.Halt()
+	e.Count = 100
+
+	n, err := InlineHotCalls(m, func(name string) *ir.Func { return m.Func(name) }, 1, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("inlined %d calls, want 1", n)
+	}
+	// No calls remain.
+	for _, b := range main.Blocks {
+		for _, in := range b.Ins {
+			if in.Op == isa.OpCall {
+				t.Fatal("call still present after inlining")
+			}
+		}
+	}
+	obj, err := codegen.Compile(m, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, _, err := linker.Link([]*objfile.Object{obj}, linker.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := sim.Load(bin)
+	res, err := mach.Run(sim.Config{DisableUarch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 42 {
+		t.Errorf("inlined program exit = %d, want 42", res.Exit)
+	}
+}
+
+func TestInlineMultipleCallsInOneBlock(t *testing.T) {
+	m := ir.NewModule("m")
+	makeLeaf(m, "leaf")
+	main := m.NewFunc("main", 0)
+	e := main.Entry()
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 0})
+	e.Emit(ir.Inst{Op: isa.OpCall, Sym: "leaf"})
+	e.Emit(ir.Inst{Op: isa.OpCall, Sym: "leaf"})
+	e.Emit(ir.Inst{Op: isa.OpCall, Sym: "leaf"})
+	e.Halt()
+	e.Count = 10
+
+	n, err := InlineHotCalls(m, func(name string) *ir.Func { return m.Func(name) }, 1, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("inlined %d calls, want 3", n)
+	}
+	obj, _ := codegen.Compile(m, codegen.Options{})
+	bin, _, err := linker.Link([]*objfile.Object{obj}, linker.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := sim.Load(bin)
+	res, err := mach.Run(sim.Config{DisableUarch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 21 {
+		t.Errorf("exit = %d, want 21", res.Exit)
+	}
+}
+
+func TestReadCountsErrors(t *testing.T) {
+	m := testprog.SumLoop(5)
+	_, meta := Instrument(m)
+	bin := &objfile.Binary{}
+	if _, err := ReadCounts(bin, nil, []*Meta{meta}); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := ReadCounts(bin, []byte{1}, []*Meta{meta}); err == nil {
+		t.Error("missing counter symbol accepted")
+	}
+}

@@ -1,0 +1,254 @@
+// Package profile defines hardware-profile data: Last Branch Record (LBR)
+// samples as collected by the simulator's PMU (the stand-in for Linux perf
+// on Intel LBR hardware, §3.3), their serialization, and aggregation into
+// weighted branch edges.
+package profile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LBRDepth is the depth of the last-branch-record ring: the hardware keeps
+// the source and destination of the last 32 retired taken branches (§3.3).
+const LBRDepth = 32
+
+// Branch is one taken control transfer: From is the address of the branch
+// instruction, To the target address.
+type Branch struct {
+	From, To uint64
+}
+
+// Sample is one LBR snapshot: up to LBRDepth records, newest last.
+type Sample struct {
+	Records []Branch
+}
+
+// Profile is a collection of samples from one profiling run.
+type Profile struct {
+	// Binary identifies the profiled binary (informational).
+	Binary string
+	// Period is the sampling period in retired instructions.
+	Period  uint64
+	Samples []Sample
+}
+
+// Edge is an aggregated (from, to) address pair.
+type Edge struct {
+	From, To uint64
+}
+
+// Aggregate flattens all samples into edge weights. Each LBR entry counts
+// once; consecutive entries additionally imply the fall-through path
+// between one branch's target and the next branch's source, which the
+// whole-program analysis uses to assign block execution counts.
+func (p *Profile) Aggregate() map[Edge]uint64 {
+	out := make(map[Edge]uint64)
+	for _, s := range p.Samples {
+		for _, r := range s.Records {
+			out[Edge{r.From, r.To}]++
+		}
+	}
+	return out
+}
+
+// FallRange is a contiguous execution range implied by two consecutive LBR
+// entries: the code between Start (a branch target) and End (the next
+// branch's source) executed sequentially.
+type FallRange struct {
+	Start, End uint64
+}
+
+// FallRanges extracts sequential-execution ranges from each sample.
+func (p *Profile) FallRanges() map[FallRange]uint64 {
+	out := make(map[FallRange]uint64)
+	for _, s := range p.Samples {
+		for i := 1; i < len(s.Records); i++ {
+			start := s.Records[i-1].To
+			end := s.Records[i].From
+			if end >= start {
+				out[FallRange{start, end}]++
+			}
+		}
+	}
+	return out
+}
+
+// SortedEdges returns the aggregated edges ordered by descending weight,
+// then by address for determinism.
+func SortedEdges(agg map[Edge]uint64) []Edge {
+	edges := make([]Edge, 0, len(agg))
+	for e := range agg {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		wi, wj := agg[edges[i]], agg[edges[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+const profMagic = "WPRF"
+
+// Write serializes the profile (the perf.data stand-in).
+func (p *Profile) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(profMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putU(uint64(len(p.Binary)))
+	bw.WriteString(p.Binary)
+	putU(p.Period)
+	putU(uint64(len(p.Samples)))
+	for _, s := range p.Samples {
+		putU(uint64(len(s.Records)))
+		for _, r := range s.Records {
+			putU(r.From)
+			if err := putU(r.To); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Stream reads a serialized profile, invoking fn for every sample without
+// materializing the whole profile — the "chunked reading" §5.1 names as
+// the easy fix for profile-read memory. The returned header carries the
+// binary name, period and sample count.
+func Stream(r io.Reader, fn func(Sample) error) (binaryName string, period uint64, n int, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err = io.ReadFull(br, magic); err != nil {
+		return "", 0, 0, err
+	}
+	if string(magic) != profMagic {
+		return "", 0, 0, fmt.Errorf("profile: bad magic %q", magic)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	nameLen, err := getU()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if nameLen > 1<<16 {
+		return "", 0, 0, fmt.Errorf("profile: name too long")
+	}
+	name := make([]byte, nameLen)
+	if _, err = io.ReadFull(br, name); err != nil {
+		return "", 0, 0, err
+	}
+	binaryName = string(name)
+	if period, err = getU(); err != nil {
+		return binaryName, 0, 0, err
+	}
+	nSamples, err := getU()
+	if err != nil {
+		return binaryName, period, 0, err
+	}
+	if nSamples > 1<<28 {
+		return binaryName, period, 0, fmt.Errorf("profile: implausible sample count %d", nSamples)
+	}
+	var buf [LBRDepth]Branch
+	for i := uint64(0); i < nSamples; i++ {
+		nRec, err := getU()
+		if err != nil {
+			return binaryName, period, int(i), err
+		}
+		if nRec > LBRDepth {
+			return binaryName, period, int(i), fmt.Errorf("profile: sample with %d records exceeds LBR depth", nRec)
+		}
+		s := Sample{Records: buf[:nRec]}
+		for j := range s.Records {
+			if s.Records[j].From, err = getU(); err != nil {
+				return binaryName, period, int(i), err
+			}
+			if s.Records[j].To, err = getU(); err != nil {
+				return binaryName, period, int(i), err
+			}
+		}
+		if err := fn(s); err != nil {
+			return binaryName, period, int(i), err
+		}
+	}
+	return binaryName, period, int(nSamples), nil
+}
+
+// Read deserializes a profile.
+func Read(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != profMagic {
+		return nil, fmt.Errorf("profile: bad magic %q", magic)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	nameLen, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("profile: name too long")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	p := &Profile{Binary: string(name)}
+	if p.Period, err = getU(); err != nil {
+		return nil, err
+	}
+	nSamples, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if nSamples > 1<<28 {
+		return nil, fmt.Errorf("profile: implausible sample count %d", nSamples)
+	}
+	for i := uint64(0); i < nSamples; i++ {
+		nRec, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if nRec > LBRDepth {
+			return nil, fmt.Errorf("profile: sample with %d records exceeds LBR depth", nRec)
+		}
+		s := Sample{Records: make([]Branch, nRec)}
+		for j := range s.Records {
+			if s.Records[j].From, err = getU(); err != nil {
+				return nil, err
+			}
+			if s.Records[j].To, err = getU(); err != nil {
+				return nil, err
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// SizeBytes estimates the serialized size, used by the memory model when
+// accounting for profile reading (§5.1).
+func (p *Profile) SizeBytes() int64 {
+	n := int64(16 + len(p.Binary))
+	for _, s := range p.Samples {
+		n += 2 + int64(len(s.Records))*10
+	}
+	return n
+}

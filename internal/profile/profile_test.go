@@ -1,0 +1,141 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Profile {
+	return &Profile{
+		Binary: "app.wb",
+		Period: 211,
+		Samples: []Sample{
+			{Records: []Branch{{From: 0x100, To: 0x200}, {From: 0x250, To: 0x100}}},
+			{Records: []Branch{{From: 0x100, To: 0x200}}},
+			{Records: nil},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p := sample()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Binary != p.Binary || got.Period != p.Period || len(got.Samples) != len(p.Samples) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range p.Samples {
+		if !reflect.DeepEqual(p.Samples[i].Records, got.Samples[i].Records) &&
+			!(len(p.Samples[i].Records) == 0 && len(got.Samples[i].Records) == 0) {
+			t.Errorf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	sample().Write(&buf)
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut += 3 {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsOversizedSample(t *testing.T) {
+	p := &Profile{Samples: []Sample{{Records: make([]Branch, LBRDepth+1)}}}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("sample deeper than the LBR accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	agg := sample().Aggregate()
+	if agg[Edge{0x100, 0x200}] != 2 {
+		t.Errorf("edge weight = %d, want 2", agg[Edge{0x100, 0x200}])
+	}
+	if agg[Edge{0x250, 0x100}] != 1 {
+		t.Errorf("edge weight = %d, want 1", agg[Edge{0x250, 0x100}])
+	}
+	if len(agg) != 2 {
+		t.Errorf("edges = %d", len(agg))
+	}
+}
+
+func TestFallRanges(t *testing.T) {
+	fr := sample().FallRanges()
+	// Between record 0 (To 0x200) and record 1 (From 0x250): [0x200,0x250].
+	if fr[FallRange{0x200, 0x250}] != 1 {
+		t.Errorf("fall range missing: %+v", fr)
+	}
+	// Backward pairs (next.From < prev.To) are discarded.
+	p := &Profile{Samples: []Sample{{Records: []Branch{{From: 9, To: 100}, {From: 50, To: 1}}}}}
+	if len(p.FallRanges()) != 0 {
+		t.Error("backward range accepted")
+	}
+}
+
+func TestSortedEdgesDeterministic(t *testing.T) {
+	agg := map[Edge]uint64{
+		{1, 2}: 5, {3, 4}: 5, {5, 6}: 9,
+	}
+	edges := SortedEdges(agg)
+	want := []Edge{{5, 6}, {1, 2}, {3, 4}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Errorf("got %v, want %v", edges, want)
+	}
+}
+
+func TestSizeBytesGrowsWithSamples(t *testing.T) {
+	small := &Profile{Samples: make([]Sample, 1)}
+	big := &Profile{Samples: make([]Sample, 100)}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Error("SizeBytes not monotone")
+	}
+}
+
+// Property: round trip preserves arbitrary valid profiles.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pairs []uint64, period uint64) bool {
+		p := &Profile{Binary: "x", Period: period}
+		var s Sample
+		for i := 0; i+1 < len(pairs) && len(s.Records) < LBRDepth; i += 2 {
+			s.Records = append(s.Records, Branch{From: pairs[i], To: pairs[i+1]})
+			if len(s.Records) == LBRDepth {
+				p.Samples = append(p.Samples, s)
+				s = Sample{}
+			}
+		}
+		if len(s.Records) > 0 {
+			p.Samples = append(p.Samples, s)
+		}
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p.Aggregate(), got.Aggregate())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,477 @@
+// Package sim executes linked WSA binaries and models the
+// microarchitectural events the paper's evaluation measures: L1i/L2 code
+// misses, iTLB/STLB misses, branch resteers (baclears), taken branches,
+// DSB (decoded uop cache) misses, and a cycle count. It also implements
+// the LBR-based hardware profiler of §3.3: a 32-deep last-branch-record
+// ring sampled periodically, standing in for `perf record -b`.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"propeller/internal/heatmap"
+	"propeller/internal/isa"
+	"propeller/internal/objfile"
+	"propeller/internal/profile"
+)
+
+// Stack geometry. The stack lives outside all binary segments.
+const (
+	StackTop         = uint64(0x7F00_0000)
+	DefaultStackSize = 1 << 20
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// MaxInsts bounds execution (0 means 500M).
+	MaxInsts uint64
+
+	// LBRPeriod, when non-zero, samples the LBR ring every N retired
+	// instructions into the produced profile.
+	LBRPeriod uint64
+
+	// Heatmap, when non-nil, records instruction fetches.
+	Heatmap *heatmap.Recorder
+
+	// StackSize overrides the default 1MB stack.
+	StackSize uint64
+
+	// Args seed the argument registers r0..r3 at entry.
+	Args [4]int64
+
+	// DisableUarch skips the cache/TLB/predictor model (fast functional
+	// runs, e.g. PGO training executions).
+	DisableUarch bool
+
+	// KeepMemory retains the final data-segment image in the result;
+	// instrumented-PGO builds read their counters back through it.
+	KeepMemory bool
+
+	// TrackLoadMisses records per-PC L1d miss counts into the result —
+	// the cache-miss profile that drives §3.5 prefetch insertion.
+	TrackLoadMisses bool
+}
+
+// RunError describes an execution fault; BOLT-corrupted binaries surface
+// as these (the "Crash" cells of Table 3).
+type RunError struct {
+	PC   uint64
+	Inst uint64 // retired instruction count at fault
+	Msg  string
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("sim: fault at pc=%#x after %d instructions: %s", e.PC, e.Inst, e.Msg)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Exit     int64 // r0 at halt
+	Insts    uint64
+	Cycles   uint64
+	Counters Counters
+	Profile  *profile.Profile // non-nil when LBRPeriod was set
+
+	// DataImage is the final data segment (including BSS) when
+	// Config.KeepMemory was set; it starts at the binary's DataBase.
+	DataImage []byte
+
+	// LoadMisses maps load-instruction addresses to their L1d miss
+	// counts (when Config.TrackLoadMisses was set).
+	LoadMisses map[uint64]uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+type cachedInst struct {
+	inst isa.Inst
+	size int
+}
+
+// Machine is a loaded binary ready to execute.
+type Machine struct {
+	bin  *objfile.Binary
+	lsda map[uint64]uint64 // call-site end address → landing pad
+
+	decode map[uint64]cachedInst
+}
+
+// Load prepares a binary for execution.
+func Load(bin *objfile.Binary) (*Machine, error) {
+	m := &Machine{bin: bin, decode: make(map[uint64]cachedInst)}
+	if len(bin.LSDA)%16 != 0 {
+		return nil, fmt.Errorf("sim: LSDA size %d not a multiple of 16", len(bin.LSDA))
+	}
+	m.lsda = make(map[uint64]uint64, len(bin.LSDA)/16)
+	for off := 0; off+16 <= len(bin.LSDA); off += 16 {
+		call := binary.LittleEndian.Uint64(bin.LSDA[off:])
+		pad := binary.LittleEndian.Uint64(bin.LSDA[off+8:])
+		m.lsda[call] = pad
+	}
+	if bin.Entry < bin.TextBase || bin.Entry >= bin.TextEnd() {
+		return nil, fmt.Errorf("sim: entry %#x outside text", bin.Entry)
+	}
+	return m, nil
+}
+
+type frame struct {
+	retAddr  uint64
+	spBefore uint64
+	fpAtCall int64 // frame pointer to restore when unwinding into this frame
+}
+
+// Run executes the machine with the given configuration.
+func (m *Machine) Run(cfg Config) (*Result, error) {
+	maxInsts := cfg.MaxInsts
+	if maxInsts == 0 {
+		maxInsts = 500_000_000
+	}
+	stackSize := cfg.StackSize
+	if stackSize == 0 {
+		stackSize = DefaultStackSize
+	}
+	bin := m.bin
+
+	var regs [isa.NumRegs]int64
+	regs[isa.RegArg0] = cfg.Args[0]
+	regs[isa.RegArg1] = cfg.Args[1]
+	regs[isa.RegArg2] = cfg.Args[2]
+	regs[isa.RegArg3] = cfg.Args[3]
+	regs[isa.RegSP] = int64(StackTop)
+	var flags int64
+
+	stackBase := StackTop - stackSize
+	stack := make([]byte, stackSize)
+	data := make([]byte, int64(len(bin.Data))+bin.BSSSize)
+	copy(data, bin.Data)
+
+	var u *uarch
+	if !cfg.DisableUarch {
+		u = newUarch(bin.HugePages)
+	}
+	res := &Result{}
+	if cfg.TrackLoadMisses {
+		res.LoadMisses = map[uint64]uint64{}
+	}
+	var lbr lbrRing
+	if cfg.LBRPeriod > 0 {
+		res.Profile = &profile.Profile{Period: cfg.LBRPeriod}
+	}
+
+	var callStack []frame
+
+	finish := func() {
+		m.finish(res, u)
+		if cfg.KeepMemory {
+			res.DataImage = data
+		}
+	}
+	fault := func(pc uint64, format string, args ...any) error {
+		finish() // record cycles and memory on every exit path
+		return &RunError{PC: pc, Inst: res.Insts, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	load64 := func(pc, addr uint64) (int64, error) {
+		switch {
+		case addr >= stackBase && addr+8 <= StackTop:
+			return int64(binary.LittleEndian.Uint64(stack[addr-stackBase:])), nil
+		case addr >= bin.DataBase && addr+8 <= bin.DataBase+uint64(len(data)):
+			return int64(binary.LittleEndian.Uint64(data[addr-bin.DataBase:])), nil
+		case addr >= bin.RodataBase && addr+8 <= bin.RodataBase+uint64(len(bin.Rodata)):
+			return int64(binary.LittleEndian.Uint64(bin.Rodata[addr-bin.RodataBase:])), nil
+		case addr >= bin.TextBase && addr+8 <= bin.TextEnd():
+			// Jump tables may live inside text (data-in-code).
+			return int64(binary.LittleEndian.Uint64(bin.Text[addr-bin.TextBase:])), nil
+		}
+		return 0, fault(pc, "load from unmapped address %#x", addr)
+	}
+	store64 := func(pc, addr uint64, v int64) error {
+		switch {
+		case addr >= stackBase && addr+8 <= StackTop:
+			binary.LittleEndian.PutUint64(stack[addr-stackBase:], uint64(v))
+			return nil
+		case addr >= bin.DataBase && addr+8 <= bin.DataBase+uint64(len(data)):
+			binary.LittleEndian.PutUint64(data[addr-bin.DataBase:], uint64(v))
+			return nil
+		}
+		return fault(pc, "store to unmapped or read-only address %#x", addr)
+	}
+
+	pc := bin.Entry
+	textBase := bin.TextBase
+	textEnd := bin.TextEnd()
+
+	for res.Insts < maxInsts {
+		if pc < textBase || pc >= textEnd {
+			return res, fault(pc, "instruction fetch outside text segment")
+		}
+		ci, ok := m.decode[pc]
+		if !ok {
+			inst, size, err := isa.Decode(bin.Text, int(pc-textBase))
+			if err != nil {
+				return res, fault(pc, "instruction decode failed: %v", err)
+			}
+			ci = cachedInst{inst: inst, size: size}
+			m.decode[pc] = ci
+		}
+		if u != nil {
+			u.fetch(&res.Counters, pc, ci.size)
+		}
+		if cfg.Heatmap != nil {
+			cfg.Heatmap.Touch(pc, res.Insts)
+		}
+		res.Insts++
+		nextPC := pc + uint64(ci.size)
+		in := ci.inst
+
+		taken := false
+		var target uint64
+		indirect := false
+		isCall := false
+		isRet := false
+
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpHalt:
+			res.Exit = regs[isa.RegRet]
+			finish()
+			return res, nil
+		case isa.OpMovRR:
+			regs[in.A] = regs[in.B]
+		case isa.OpMovI, isa.OpMovI64:
+			regs[in.A] = in.Imm
+		case isa.OpAdd:
+			regs[in.A] += regs[in.B]
+		case isa.OpSub:
+			regs[in.A] -= regs[in.B]
+		case isa.OpMul:
+			regs[in.A] *= regs[in.B]
+		case isa.OpDiv:
+			if regs[in.B] == 0 {
+				return res, fault(pc, "division by zero")
+			}
+			regs[in.A] /= regs[in.B]
+		case isa.OpMod:
+			if regs[in.B] == 0 {
+				return res, fault(pc, "modulo by zero")
+			}
+			regs[in.A] %= regs[in.B]
+		case isa.OpAnd:
+			regs[in.A] &= regs[in.B]
+		case isa.OpOr:
+			regs[in.A] |= regs[in.B]
+		case isa.OpXor:
+			regs[in.A] ^= regs[in.B]
+		case isa.OpShl:
+			regs[in.A] <<= uint64(regs[in.B]) & 63
+		case isa.OpShr:
+			regs[in.A] = int64(uint64(regs[in.A]) >> (uint64(regs[in.B]) & 63))
+		case isa.OpAddI:
+			regs[in.A] += in.Imm
+		case isa.OpCmp:
+			flags = sign(regs[in.A] - regs[in.B])
+		case isa.OpCmpI:
+			flags = sign(regs[in.A] - in.Imm)
+		case isa.OpLoad:
+			addr := uint64(regs[in.A] + in.Imm)
+			v, err := load64(pc, addr)
+			if err != nil {
+				return res, err
+			}
+			regs[in.B] = v
+			if u != nil && u.dataAccess(&res.Counters, addr, true) && cfg.TrackLoadMisses {
+				res.LoadMisses[pc]++
+			}
+		case isa.OpStore:
+			addr := uint64(regs[in.A] + in.Imm)
+			if err := store64(pc, addr, regs[in.B]); err != nil {
+				return res, err
+			}
+			if u != nil {
+				u.dataAccess(&res.Counters, addr, false)
+			}
+		case isa.OpPrefetch:
+			if u != nil {
+				u.prefetch(&res.Counters, uint64(regs[in.A]+in.Imm))
+			}
+		case isa.OpPush:
+			regs[isa.RegSP] -= 8
+			if uint64(regs[isa.RegSP]) < stackBase {
+				return res, fault(pc, "stack overflow")
+			}
+			if err := store64(pc, uint64(regs[isa.RegSP]), regs[in.A]); err != nil {
+				return res, err
+			}
+		case isa.OpPop:
+			v, err := load64(pc, uint64(regs[isa.RegSP]))
+			if err != nil {
+				return res, err
+			}
+			regs[in.A] = v
+			regs[isa.RegSP] += 8
+		case isa.OpJmp, isa.OpJmpS:
+			taken = true
+			target = uint64(int64(nextPC) + in.Imm)
+		case isa.OpJmpR:
+			taken = true
+			indirect = true
+			target = uint64(regs[in.A])
+		case isa.OpCall:
+			taken = true
+			isCall = true
+			target = uint64(int64(nextPC) + in.Imm)
+			regs[isa.RegSP] -= 8
+			if uint64(regs[isa.RegSP]) < stackBase {
+				return res, fault(pc, "stack overflow")
+			}
+			if err := store64(pc, uint64(regs[isa.RegSP]), int64(nextPC)); err != nil {
+				return res, err
+			}
+			callStack = append(callStack, frame{retAddr: nextPC, spBefore: uint64(regs[isa.RegSP]) + 8, fpAtCall: regs[isa.RegFP]})
+		case isa.OpCallR:
+			taken = true
+			isCall = true
+			indirect = true
+			target = uint64(regs[in.A])
+			regs[isa.RegSP] -= 8
+			if uint64(regs[isa.RegSP]) < stackBase {
+				return res, fault(pc, "stack overflow")
+			}
+			if err := store64(pc, uint64(regs[isa.RegSP]), int64(nextPC)); err != nil {
+				return res, err
+			}
+			callStack = append(callStack, frame{retAddr: nextPC, spBefore: uint64(regs[isa.RegSP]) + 8, fpAtCall: regs[isa.RegFP]})
+		case isa.OpRet:
+			if len(callStack) == 0 {
+				// Returning from the entry function ends the program.
+				res.Exit = regs[isa.RegRet]
+				finish()
+				return res, nil
+			}
+			v, err := load64(pc, uint64(regs[isa.RegSP]))
+			if err != nil {
+				return res, err
+			}
+			regs[isa.RegSP] += 8
+			callStack = callStack[:len(callStack)-1]
+			taken = true
+			isRet = true
+			target = uint64(v)
+		case isa.OpThrow:
+			pad, fr, fp, depth, ok := m.unwind(callStack)
+			if !ok {
+				return res, fault(pc, "uncaught exception")
+			}
+			callStack = callStack[:depth]
+			regs[isa.RegSP] = int64(fr)
+			// The CFI of §4.4 exists so the unwinder can restore the
+			// callee-saved frame pointer of the landing frame; the
+			// simulator applies that restoration directly.
+			regs[isa.RegFP] = fp
+			taken = true
+			indirect = true
+			target = pad
+		default:
+			if in.Op >= isa.OpJeq && in.Op <= isa.OpJgeS {
+				cond := in.Op.BranchCond()
+				if cond.Holds(flags) {
+					taken = true
+					target = uint64(int64(nextPC) + in.Imm)
+				} else if u != nil {
+					u.condNotTaken(&res.Counters, pc)
+				}
+			} else {
+				return res, fault(pc, "unimplemented opcode %v", in.Op)
+			}
+		}
+
+		if taken {
+			if u != nil {
+				switch {
+				case isCall:
+					u.call(&res.Counters, pc, target, nextPC, indirect)
+				case isRet:
+					u.ret(&res.Counters, target)
+				default:
+					u.takenBranch(&res.Counters, pc, target, indirect, in.Op.IsCondBranch())
+				}
+			}
+			lbr.push(pc, target)
+			nextPC = target
+		}
+
+		if cfg.LBRPeriod > 0 && res.Insts%cfg.LBRPeriod == 0 {
+			res.Profile.Samples = append(res.Profile.Samples, lbr.snapshot())
+		}
+		pc = nextPC
+	}
+	return res, fault(pc, "instruction budget of %d exhausted", maxInsts)
+}
+
+// unwind walks the shadow call stack outward looking for a call site with a
+// landing pad. It returns the pad address, the SP and FP to restore (the
+// register state of the frame that owns the landing pad), and the new
+// stack depth.
+func (m *Machine) unwind(callStack []frame) (pad, sp uint64, fp int64, depth int, ok bool) {
+	for i := len(callStack) - 1; i >= 0; i-- {
+		fr := callStack[i]
+		if p, found := m.lsda[fr.retAddr]; found {
+			return p, fr.spBefore, fr.fpAtCall, i, true
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+func (m *Machine) finish(res *Result, u *uarch) {
+	if u != nil {
+		res.Cycles = u.cycles
+	} else {
+		res.Cycles = res.Insts
+	}
+}
+
+func sign(v int64) int64 {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+// lbrRing is the 32-deep last branch record buffer.
+type lbrRing struct {
+	buf  [profile.LBRDepth]profile.Branch
+	pos  int
+	full bool
+}
+
+func (l *lbrRing) push(from, to uint64) {
+	l.buf[l.pos] = profile.Branch{From: from, To: to}
+	l.pos++
+	if l.pos == len(l.buf) {
+		l.pos = 0
+		l.full = true
+	}
+}
+
+// snapshot returns the ring contents oldest-first.
+func (l *lbrRing) snapshot() profile.Sample {
+	var out []profile.Branch
+	if l.full {
+		out = make([]profile.Branch, 0, len(l.buf))
+		out = append(out, l.buf[l.pos:]...)
+		out = append(out, l.buf[:l.pos]...)
+	} else {
+		out = append([]profile.Branch(nil), l.buf[:l.pos]...)
+	}
+	return profile.Sample{Records: out}
+}

@@ -1,0 +1,322 @@
+package sim
+
+// The microarchitecture model: a Skylake-like frontend sized per the
+// paper's evaluation platform (§5.5, Table 4 and [23] therein):
+//
+//	L1i   32 KB, 8-way, 64 B lines
+//	L2    1 MB, 16-way, 64 B lines (code reads modeled)
+//	iTLB  128×4K entries 4-way, or 8 fully-associative 2M entries when
+//	      hugepages are enabled for text (the Search configuration)
+//	STLB  1536 entries, 12-way, second level for both page sizes
+//	BTB   4096 entries, direct mapped; misses on taken branches are
+//	      baclears (front-end resteers, event B1)
+//	DSB   decoded uop cache tracked in 32 B windows
+//
+// Penalties are in cycles and chosen to keep relative effects realistic;
+// absolute cycle counts are not calibrated to any silicon.
+
+const (
+	l1iSets  = 64 // 32KB / 64B / 8 ways
+	l1iWays  = 8
+	l2Sets   = 1024 // 1MB / 64B / 16 ways
+	l2Ways   = 16
+	lineBits = 6
+
+	itlb4kSets = 32 // 128 entries, 4-way
+	itlb4kWays = 4
+	itlb2mWays = 8   // fully associative
+	stlbSets   = 128 // 1536 entries, 12-way
+	stlbWays   = 12
+
+	btbEntries    = 4096
+	gshareEntries = 16384
+	dsbEntries    = 2048
+	dsbWindowBits = 5 // 32-byte windows
+
+	l1dSets = 64 // 32KB, 8-way, 64B lines
+	l1dWays = 8
+
+	penL1dMiss    = 14 // L1d miss (to L2/memory, flat)
+	penL1iMiss    = 8  // L1i miss, L2 hit
+	penL2Miss     = 40 // code fetch from memory
+	penITLBMiss   = 7  // iTLB miss, STLB hit
+	penPageWalk   = 35 // STLB miss
+	penBaclear    = 9  // front-end resteer
+	penMispredict = 14
+	penDSBMiss    = 2 // MITE switch
+)
+
+// Counters are the PMU events of Table 4 plus supporting totals.
+type Counters struct {
+	L1IMiss      uint64 // I1: frontend_retired.l1i_miss
+	L2CodeMiss   uint64 // I2: l2_rqsts.code_rd_miss
+	FetchStalls  uint64 // I3: cycles stalled on instruction fetch
+	ITLBMiss     uint64 // T1: icache_64b.iftag_miss (first-level iTLB miss)
+	STLBMiss     uint64 // T2: frontend_retired.itlb_miss (page walks)
+	Baclears     uint64 // B1: baclears.any
+	TakenBranch  uint64 // B2: br_inst_retired.near_taken
+	NotTakenBr   uint64 // conditional branches retired not taken
+	Mispredicts  uint64
+	DSBMiss      uint64
+	CondBranches uint64
+
+	Loads      uint64
+	L1DMiss    uint64 // data-side misses (drives §3.5 prefetch insertion)
+	Prefetches uint64
+}
+
+// set-associative cache with move-to-front pseudo-LRU inside each set.
+type cache struct {
+	sets [][]uint64
+	ways int
+}
+
+func newCache(nsets, ways int) *cache {
+	c := &cache{sets: make([][]uint64, nsets), ways: ways}
+	backing := make([]uint64, nsets*ways)
+	for i := range backing {
+		backing[i] = ^uint64(0)
+	}
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways]
+	}
+	return c
+}
+
+// access returns true on hit; on miss the tag is inserted.
+func (c *cache) access(key uint64) bool {
+	set := c.sets[key%uint64(len(c.sets))]
+	for i, tag := range set {
+		if tag == key {
+			// Move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = key
+			return true
+		}
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = key
+	return false
+}
+
+type uarch struct {
+	l1i  *cache
+	l1d  *cache
+	l2   *cache
+	itlb *cache
+	stlb *cache
+
+	btbTag    []uint64
+	btbTarget []uint64
+	gshare    []uint8
+	ghist     uint64
+	dsb       []uint64
+
+	hugePages bool
+	pageBits  uint
+
+	// rsb is the return stack buffer: calls push their return address,
+	// returns predict by popping. 16 entries, wrapping like hardware.
+	rsb    [16]uint64
+	rsbTop int
+
+	lastLine   uint64
+	lastWindow uint64
+
+	cycles uint64
+}
+
+func newUarch(hugePages bool) *uarch {
+	u := &uarch{
+		l1i:        newCache(l1iSets, l1iWays),
+		l1d:        newCache(l1dSets, l1dWays),
+		l2:         newCache(l2Sets, l2Ways),
+		stlb:       newCache(stlbSets, stlbWays),
+		btbTag:     make([]uint64, btbEntries),
+		btbTarget:  make([]uint64, btbEntries),
+		gshare:     make([]uint8, gshareEntries),
+		dsb:        make([]uint64, dsbEntries),
+		hugePages:  hugePages,
+		pageBits:   12,
+		lastLine:   ^uint64(0),
+		lastWindow: ^uint64(0),
+	}
+	if hugePages {
+		u.pageBits = 21
+		u.itlb = newCache(1, itlb2mWays)
+	} else {
+		u.itlb = newCache(itlb4kSets, itlb4kWays)
+	}
+	for i := range u.btbTag {
+		u.btbTag[i] = ^uint64(0)
+	}
+	for i := range u.dsb {
+		u.dsb[i] = ^uint64(0)
+	}
+	return u
+}
+
+// fetch models the frontend cost of fetching one instruction.
+func (u *uarch) fetch(c *Counters, pc uint64, size int) {
+	u.cycles++ // base cost
+	lineStart := pc >> lineBits
+	lineEnd := (pc + uint64(size) - 1) >> lineBits
+	for line := lineStart; line <= lineEnd; line++ {
+		if line == u.lastLine {
+			continue
+		}
+		u.lastLine = line
+		// iTLB on new-line fetches (tag lookups happen per 64B fetch).
+		page := (line << lineBits) >> u.pageBits
+		if !u.itlb.access(page) {
+			c.ITLBMiss++
+			if !u.stlb.access(page) {
+				c.STLBMiss++
+				u.cycles += penPageWalk
+				c.FetchStalls += penPageWalk
+			} else {
+				u.cycles += penITLBMiss
+				c.FetchStalls += penITLBMiss
+			}
+		}
+		if !u.l1i.access(line) {
+			c.L1IMiss++
+			if !u.l2.access(line) {
+				c.L2CodeMiss++
+				u.cycles += penL2Miss
+				c.FetchStalls += penL2Miss
+			} else {
+				u.cycles += penL1iMiss
+				c.FetchStalls += penL1iMiss
+			}
+		}
+	}
+	window := pc >> dsbWindowBits
+	if window != u.lastWindow {
+		u.lastWindow = window
+		slot := window % uint64(len(u.dsb))
+		if u.dsb[slot] != window {
+			u.dsb[slot] = window
+			c.DSBMiss++
+			u.cycles += penDSBMiss
+		}
+	}
+}
+
+// dataAccess models one load or store; it returns true on an L1d miss so
+// the caller can attribute the miss to the instruction (§3.5's cache miss
+// profiles).
+func (u *uarch) dataAccess(c *Counters, addr uint64, isLoad bool) bool {
+	line := addr >> lineBits
+	hit := u.l1d.access(line)
+	if isLoad {
+		c.Loads++
+	}
+	if !hit {
+		c.L1DMiss++
+		u.cycles += penL1dMiss
+		return true
+	}
+	return false
+}
+
+// prefetch warms the L1d without stalling (software prefetch hint).
+func (u *uarch) prefetch(c *Counters, addr uint64) {
+	c.Prefetches++
+	u.l1d.access(addr >> lineBits)
+}
+
+// call records a call's return address in the RSB and models the taken
+// transfer.
+func (u *uarch) call(c *Counters, pc, target, retAddr uint64, indirect bool) {
+	u.rsb[u.rsbTop&15] = retAddr
+	u.rsbTop++
+	u.takenBranch(c, pc, target, indirect, false)
+}
+
+// ret models a return: predicted through the RSB, not the BTB.
+func (u *uarch) ret(c *Counters, target uint64) {
+	c.TakenBranch++
+	var predicted uint64
+	if u.rsbTop > 0 {
+		u.rsbTop--
+		predicted = u.rsb[u.rsbTop&15]
+	}
+	if predicted != target {
+		c.Mispredicts++
+		u.cycles += penMispredict
+	}
+	u.lastWindow = ^uint64(0)
+	u.lastLine = ^uint64(0)
+}
+
+// takenBranch models a taken control transfer.
+func (u *uarch) takenBranch(c *Counters, pc, target uint64, indirect, conditional bool) {
+	c.TakenBranch++
+	slot := pc % btbEntries
+	if u.btbTag[slot] != pc {
+		// Unknown to the BTB: the front end resteers.
+		c.Baclears++
+		u.cycles += penBaclear
+		c.FetchStalls += penBaclear
+		u.btbTag[slot] = pc
+		u.btbTarget[slot] = target
+	} else if indirect && u.btbTarget[slot] != target {
+		c.Mispredicts++
+		u.cycles += penMispredict
+		u.btbTarget[slot] = target
+	}
+	if conditional {
+		c.CondBranches++
+		if !u.predictCorrect(pc, true) {
+			c.Mispredicts++
+			u.cycles += penMispredict
+		}
+	}
+	// Taken branches break the fetch window.
+	u.lastWindow = ^uint64(0)
+	u.lastLine = ^uint64(0)
+}
+
+// condNotTaken models a conditional branch that fell through.
+func (u *uarch) condNotTaken(c *Counters, pc uint64) {
+	c.CondBranches++
+	c.NotTakenBr++
+	if !u.predictCorrect(pc, false) {
+		c.Mispredicts++
+		u.cycles += penMispredict
+	}
+}
+
+// predictCorrect consults and updates the gshare direction predictor; it
+// reports whether the pre-update prediction matched the actual outcome.
+func (u *uarch) predictCorrect(pc uint64, actual bool) bool {
+	idx := (pc ^ u.ghist) % gshareEntries
+	ctr := u.gshare[idx]
+	predicted := ctr >= 2
+	if actual {
+		if ctr < 3 {
+			u.gshare[idx] = ctr + 1
+		}
+		u.ghist = u.ghist<<1 | 1
+	} else {
+		if ctr > 0 {
+			u.gshare[idx] = ctr - 1
+		}
+		u.ghist = u.ghist << 1
+	}
+	return predicted == actual
+}
+
+// Map returns the Table-4 counter values keyed by the paper's labels.
+func (c *Counters) Map() map[string]uint64 {
+	return map[string]uint64{
+		"I1": c.L1IMiss,
+		"I2": c.L2CodeMiss,
+		"I3": c.FetchStalls,
+		"T1": c.ITLBMiss,
+		"T2": c.STLBMiss,
+		"B1": c.Baclears,
+		"B2": c.TakenBranch,
+	}
+}

@@ -1,0 +1,135 @@
+// Package thinlto implements summary-based cross-module optimization in
+// the style of ThinLTO [37], the second half of the paper's baseline:
+//
+//  1. per-module summary generation (distributed);
+//  2. a fast, serial whole-program thin-link building the index;
+//  3. per-module function importing + inlining (distributed).
+//
+// Importing is realized as cross-module inlining: a hot call to a small
+// function in another module clones the callee's body into the caller,
+// exactly the effect function importing + the inliner achieve in LLVM.
+package thinlto
+
+import (
+	"fmt"
+	"sort"
+
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+	"propeller/internal/pgo"
+)
+
+// FuncSummary is the thin-link index record for one function.
+type FuncSummary struct {
+	Name       string
+	Module     string
+	Insts      int
+	EntryCount uint64
+	Inlinable  bool
+	// Callees maps callee name -> summed count of calling blocks.
+	Callees map[string]uint64
+}
+
+// Index is the whole-program summary index plus a function resolver.
+type Index struct {
+	Funcs  map[string]*FuncSummary
+	byName map[string]*ir.Func
+}
+
+// Summarize builds one module's summaries (the distributed first stage).
+func Summarize(m *ir.Module, maxInlineInsts int) []*FuncSummary {
+	var out []*FuncSummary
+	for _, f := range m.Funcs {
+		s := &FuncSummary{
+			Name:       f.Name,
+			Module:     m.Name,
+			Insts:      f.NumInsts(),
+			EntryCount: f.EntryCount,
+			Inlinable:  pgo.CanInline(f, maxInlineInsts),
+			Callees:    map[string]uint64{},
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Ins {
+				if in.Op == isa.OpCall {
+					s.Callees[in.Sym] += b.Count
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// BuildIndex runs the serial thin-link step over all modules.
+func BuildIndex(mods []*ir.Module, maxInlineInsts int) (*Index, error) {
+	ix := &Index{Funcs: map[string]*FuncSummary{}, byName: map[string]*ir.Func{}}
+	for _, m := range mods {
+		for _, s := range Summarize(m, maxInlineInsts) {
+			if _, dup := ix.Funcs[s.Name]; dup {
+				return nil, fmt.Errorf("thinlto: duplicate function %q in index", s.Name)
+			}
+			ix.Funcs[s.Name] = s
+		}
+		for _, f := range m.Funcs {
+			ix.byName[f.Name] = f
+		}
+	}
+	return ix, nil
+}
+
+// Resolve returns the IR of a function anywhere in the program, the
+// operation function importing performs against the cached IR.
+func (ix *Index) Resolve(name string) *ir.Func {
+	s, ok := ix.Funcs[name]
+	if !ok || !s.Inlinable {
+		return nil
+	}
+	return ix.byName[name]
+}
+
+// ImportStats reports what cross-module optimization did.
+type ImportStats struct {
+	ModulesTouched int
+	CallsInlined   int
+	CrossModule    int
+}
+
+// OptimizeModule runs the per-module importing + inlining stage.
+func OptimizeModule(m *ir.Module, ix *Index, minCount uint64, maxInlineInsts int) (int, int, error) {
+	cross := 0
+	resolver := func(name string) *ir.Func {
+		f := ix.Resolve(name)
+		if f != nil && f.Module != m.Name {
+			cross++
+		}
+		return f
+	}
+	n, err := pgo.InlineHotCalls(m, resolver, minCount, maxInlineInsts)
+	return n, cross, err
+}
+
+// OptimizeProgram applies cross-module optimization to every module.
+// Modules are processed in name order for determinism; each module's
+// inlining works against the pre-pass index (mirroring distributed
+// backends that all read the same thin-link index).
+func OptimizeProgram(mods []*ir.Module, minCount uint64, maxInlineInsts int) (*ImportStats, error) {
+	ix, err := BuildIndex(mods, maxInlineInsts)
+	if err != nil {
+		return nil, err
+	}
+	st := &ImportStats{}
+	order := append([]*ir.Module(nil), mods...)
+	sort.Slice(order, func(i, j int) bool { return order[i].Name < order[j].Name })
+	for _, m := range order {
+		n, cross, err := OptimizeModule(m, ix, minCount, maxInlineInsts)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			st.ModulesTouched++
+		}
+		st.CallsInlined += n
+		st.CrossModule += cross
+	}
+	return st, nil
+}

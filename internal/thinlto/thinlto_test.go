@@ -1,0 +1,140 @@
+package thinlto
+
+import (
+	"testing"
+
+	"propeller/internal/codegen"
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+	"propeller/internal/linker"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+)
+
+// twoModules: app.main loops calling lib.bump (hot, inlinable).
+func twoModules() []*ir.Module {
+	lib := ir.NewModule("lib")
+	bump := lib.NewFunc("bump", 1)
+	bump.Entry().Emit(ir.Inst{Op: isa.OpAddI, A: 0, Imm: 1})
+	bump.Entry().Return()
+	bump.Entry().Count = 500
+	bump.EntryCount = 500
+
+	app := ir.NewModule("app")
+	main := app.NewFunc("main", 0)
+	e := main.Entry()
+	loop := main.NewBlock()
+	done := main.NewBlock()
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 0, Imm: 0})
+	e.Emit(ir.Inst{Op: isa.OpMovI, A: 1, Imm: 0})
+	e.Jump(loop)
+	loop.Emit(ir.Inst{Op: isa.OpCall, Sym: "bump"})
+	loop.Emit(ir.Inst{Op: isa.OpAddI, A: 1, Imm: 1})
+	loop.Emit(ir.Inst{Op: isa.OpCmpI, A: 1, Imm: 500})
+	loop.Branch(isa.CondLT, loop, done)
+	done.Halt()
+	e.Count = 1
+	loop.Count = 500
+	done.Count = 1
+	return []*ir.Module{lib, app}
+}
+
+func runModules(t *testing.T, mods []*ir.Module) int64 {
+	t.Helper()
+	var objs []*objfile.Object
+	for _, m := range mods {
+		obj, err := codegen.Compile(m, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	bin, _, err := linker.Link(objs, linker.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := sim.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: 10_000_000, DisableUarch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Exit
+}
+
+func TestCrossModuleInlining(t *testing.T) {
+	mods := twoModules()
+	before := runModules(t, mods)
+	st, err := OptimizeProgram(mods, 16, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CallsInlined == 0 {
+		t.Fatal("no calls inlined")
+	}
+	if st.CrossModule == 0 {
+		t.Error("no cross-module imports recorded")
+	}
+	after := runModules(t, mods)
+	if before != after {
+		t.Fatalf("ThinLTO changed semantics: %d vs %d", before, after)
+	}
+	// The hot call must be gone from main.
+	app := mods[1]
+	for _, b := range app.Func("main").Blocks {
+		for _, in := range b.Ins {
+			if in.Op == isa.OpCall && in.Sym == "bump" {
+				t.Error("hot cross-module call survived importing")
+			}
+		}
+	}
+}
+
+func TestIndexDuplicateDetection(t *testing.T) {
+	a := ir.NewModule("a")
+	a.NewFunc("f", 0).Entry().Return()
+	b := ir.NewModule("b")
+	b.NewFunc("f", 0).Entry().Return()
+	if _, err := BuildIndex([]*ir.Module{a, b}, 48); err == nil {
+		t.Error("duplicate function accepted")
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	mods := twoModules()
+	sums := Summarize(mods[1], 48)
+	var mainSum *FuncSummary
+	for _, s := range sums {
+		if s.Name == "main" {
+			mainSum = s
+		}
+	}
+	if mainSum == nil {
+		t.Fatal("no summary for main")
+	}
+	if mainSum.Callees["bump"] != 500 {
+		t.Errorf("callee weight = %d, want 500", mainSum.Callees["bump"])
+	}
+	if mainSum.Inlinable {
+		t.Error("main (calls, halt) must not be inlinable")
+	}
+}
+
+func TestResolveRespectsInlinability(t *testing.T) {
+	mods := twoModules()
+	ix, err := BuildIndex(mods, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Resolve("bump") == nil {
+		t.Error("bump should resolve")
+	}
+	if ix.Resolve("main") != nil {
+		t.Error("main should not resolve (not inlinable)")
+	}
+	if ix.Resolve("ghost") != nil {
+		t.Error("unknown function resolved")
+	}
+}

@@ -1,0 +1,577 @@
+// Package wpa is the whole-program analyzer of Phase 3 (§3.3): the
+// standalone tool that consumes hardware LBR profiles and the BB address
+// map of the metadata binary, reconstructs dynamic control-flow graphs
+// (DCFGs) for the sampled functions — without any disassembly — runs the
+// Ext-TSP layout algorithm, and emits the two Phase-4 artifacts:
+//
+//   - cc_prof.txt cluster directives for the distributed backend actions;
+//   - ld_prof.txt, the global symbol ordering for the final relink.
+package wpa
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/exttsp"
+	"propeller/internal/hfsort"
+	"propeller/internal/layoutfile"
+	"propeller/internal/profile"
+)
+
+// Config controls the analysis.
+type Config struct {
+	// InterProc enables the inter-procedural layout of §4.7: one global
+	// Ext-TSP run over the whole-program CFG including call edges,
+	// producing multiple clusters per function placed independently.
+	InterProc bool
+
+	// NaiveExtTSP selects the quadratic merge retrieval (ablation); the
+	// default is the heap-based "logarithmic retrieval" variant.
+	NaiveExtTSP bool
+
+	// HotThreshold is the minimum sampled count for a block to join the
+	// hot layout (default 1).
+	HotThreshold uint64
+
+	// MaxClusterSize is the hfsort cluster budget for the global function
+	// order (default: one 2M page).
+	MaxClusterSize int64
+}
+
+func (c Config) hotThreshold() uint64 {
+	if c.HotThreshold == 0 {
+		return 1
+	}
+	return c.HotThreshold
+}
+
+// Stats describe the analysis footprint; Fig 4's memory model is derived
+// from these.
+type Stats struct {
+	Samples      int
+	Records      int
+	BranchEdges  int // resolved intra-function edges
+	CallEdges    int // resolved inter-function call edges
+	DCFGFuncs    int // functions with at least one sampled block
+	DCFGNodes    int
+	DCFGEdges    int
+	HotFuncs     int
+	ProfileBytes int64 // serialized profile size read
+
+	// ModeledBytes is the peak-memory model for this phase: the larger of
+	// profile-reading and DCFG residency (§5.1 attributes Propeller's peak
+	// to exactly these two).
+	ModeledBytes int64
+
+	// LayoutWall is the measured wall time of the Ext-TSP layout step
+	// alone (record processing excluded) — the quantity the §4.7
+	// intra-vs-inter 3-10x comparison is about.
+	LayoutWall time.Duration
+}
+
+// Result is the analyzer output.
+type Result struct {
+	Directives layoutfile.Directives
+	Order      layoutfile.SymbolOrder
+	Stats      Stats
+}
+
+// funcInfo aggregates the static shape of one function from the map.
+type funcInfo struct {
+	name    string
+	entryID int
+	sizes   map[int]int64 // block id -> size
+	order   []int         // block ids in map order (original layout)
+	size    int64
+}
+
+type edgeKey struct {
+	from, to int
+}
+
+// callKey attributes an inter-function call edge to its call-site block.
+type callKey struct {
+	fn     string
+	block  int
+	callee string
+}
+
+type dcfg struct {
+	info   *funcInfo
+	counts map[int]uint64
+	edges  map[edgeKey]uint64
+}
+
+// analyzer holds the incremental DCFG-construction state, so samples can
+// be consumed from memory (Analyze) or streamed from disk in chunks
+// (AnalyzeStream, §5.1's chunked reading).
+type analyzer struct {
+	lookup    *bbaddrmap.Lookup
+	infos     map[string]*funcInfo
+	graphs    map[string]*dcfg
+	callEdges map[callKey]uint64
+	st        Stats
+}
+
+func newAnalyzer(m *bbaddrmap.Map) (*analyzer, error) {
+	if m == nil || len(m.Funcs) == 0 {
+		return nil, fmt.Errorf("wpa: empty BB address map (was the binary built with metadata?)")
+	}
+	a := &analyzer{
+		lookup:    bbaddrmap.NewLookup(m),
+		infos:     map[string]*funcInfo{},
+		graphs:    map[string]*dcfg{},
+		callEdges: map[callKey]uint64{},
+	}
+	for i := range m.Funcs {
+		fe := &m.Funcs[i]
+		fi := a.infos[fe.Name]
+		if fi == nil {
+			fi = &funcInfo{name: fe.Name, entryID: -1, sizes: map[int]int64{}}
+			a.infos[fe.Name] = fi
+			if len(fe.Blocks) > 0 {
+				// The first fragment listed for a function is the primary
+				// one; its first block is the entry.
+				fi.entryID = fe.Blocks[0].ID
+			}
+		}
+		for _, b := range fe.Blocks {
+			if _, dup := fi.sizes[b.ID]; !dup {
+				fi.order = append(fi.order, b.ID)
+			}
+			fi.sizes[b.ID] = int64(b.Size)
+			fi.size += int64(b.Size)
+		}
+	}
+	return a, nil
+}
+
+func (a *analyzer) getDCFG(fn string) *dcfg {
+	g := a.graphs[fn]
+	if g == nil {
+		g = &dcfg{info: a.infos[fn], counts: map[int]uint64{}, edges: map[edgeKey]uint64{}}
+		a.graphs[fn] = g
+	}
+	return g
+}
+
+// addSample folds one LBR sample into the DCFGs.
+func (a *analyzer) addSample(s profile.Sample) {
+	a.st.Samples++
+	for i, r := range s.Records {
+		a.st.Records++
+		// Classify the taken branch.
+		fromRef, _, fromEnd, fromOK := a.lookup.ResolveFull(r.From)
+		toRef, toStart := a.lookup.IsBlockStart(r.To)
+		if fromOK && toStart && fromRef.Fn == toRef.Fn && fromEnd-r.From <= 10 {
+			// Intra-function branch: the source sits in the block's
+			// terminator region and the target is a block start.
+			g := a.getDCFG(fromRef.Fn)
+			g.edges[edgeKey{fromRef.ID, toRef.ID}]++
+			a.st.BranchEdges++
+		} else if fromOK && toStart && toRef.ID == entryOf(a.infos, toRef.Fn) {
+			// Call (or tail transfer) into another function's entry,
+			// attributed to its call-site block so inter-procedural
+			// layout can split callers between call sites (§4.7).
+			a.callEdges[callKey{fromRef.Fn, fromRef.ID, toRef.Fn}]++
+			a.st.CallEdges++
+		}
+		// Sequential execution between this record's target and the
+		// next record's source credits every block in the range, and
+		// every adjacent pair inside it is a traversed fall-through
+		// edge — without these, the layout algorithm would only see
+		// taken branches and would happily destroy existing
+		// fall-through paths.
+		if i+1 < len(s.Records) {
+			next := s.Records[i+1]
+			if next.From >= r.To {
+				refs := a.lookup.BlocksInRange(r.To, next.From)
+				for j, ref := range refs {
+					g := a.getDCFG(ref.Fn)
+					g.counts[ref.ID]++
+					if j > 0 && refs[j-1].Fn == ref.Fn {
+						g.edges[edgeKey{refs[j-1].ID, ref.ID}]++
+						a.st.BranchEdges++
+					}
+				}
+			}
+		} else if toStart {
+			a.getDCFG(toRef.Fn).counts[toRef.ID]++
+		}
+	}
+}
+
+// finish sizes the memory model and runs the layout algorithms.
+func (a *analyzer) finish(cfg Config, profileBytes int64) (*Result, error) {
+	st := a.st
+	st.ProfileBytes = profileBytes
+	st.DCFGFuncs = len(a.graphs)
+	for _, g := range a.graphs {
+		st.DCFGNodes += len(g.counts)
+		st.DCFGEdges += len(g.edges)
+	}
+	// Memory model: peak is max(profile residency, DCFG residency); see
+	// §5.1. With chunked reading the profile component is one sample.
+	dcfgBytes := int64(st.DCFGNodes)*48 + int64(st.DCFGEdges)*40 + int64(st.DCFGFuncs)*96
+	st.ModeledBytes = st.ProfileBytes
+	if dcfgBytes > st.ModeledBytes {
+		st.ModeledBytes = dcfgBytes
+	}
+
+	res := &Result{Directives: layoutfile.Directives{}, Stats: st}
+	layoutStart := time.Now()
+	var err error
+	if cfg.InterProc {
+		err = layoutInterProc(res, a.graphs, a.infos, a.callEdges, cfg)
+	} else {
+		err = layoutIntra(res, a.graphs, a.infos, a.callEdges, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.LayoutWall = time.Since(layoutStart)
+	res.Stats.HotFuncs = len(res.Directives)
+	return res, nil
+}
+
+// Analyze runs the whole-program analysis over an in-memory profile.
+func Analyze(m *bbaddrmap.Map, prof *profile.Profile, cfg Config) (*Result, error) {
+	a, err := newAnalyzer(m)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range prof.Samples {
+		a.addSample(s)
+	}
+	return a.finish(cfg, prof.SizeBytes())
+}
+
+// AnalyzeStream runs the whole-program analysis over a serialized profile
+// without materializing it (§5.1's chunked reading): peak memory becomes
+// the DCFG alone plus a single-sample buffer.
+func AnalyzeStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Result, error) {
+	a, err := newAnalyzer(m)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, _, err := profile.Stream(r, func(s profile.Sample) error {
+		a.addSample(s)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("wpa: streaming profile: %w", err)
+	}
+	const sampleBuf = 2 + profile.LBRDepth*16
+	return a.finish(cfg, sampleBuf)
+}
+
+func entryOf(infos map[string]*funcInfo, fn string) int {
+	if fi := infos[fn]; fi != nil {
+		return fi.entryID
+	}
+	return -1
+}
+
+// hotBlocks returns the block ids participating in the hot layout: sampled
+// blocks above threshold, plus the entry unconditionally.
+func (g *dcfg) hotBlocks(threshold uint64) []int {
+	var ids []int
+	for id, c := range g.counts {
+		if c >= threshold {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	entry := g.info.entryID
+	for _, id := range ids {
+		if id == entry {
+			return ids
+		}
+	}
+	return append([]int{entry}, ids...)
+}
+
+// buildGraph maps selected block ids to an Ext-TSP graph.
+func (g *dcfg) buildGraph(ids []int) (*exttsp.Graph, map[int]int) {
+	index := make(map[int]int, len(ids))
+	eg := &exttsp.Graph{}
+	for i, id := range ids {
+		index[id] = i
+		eg.Nodes = append(eg.Nodes, exttsp.Node{Size: g.info.sizes[id], Count: g.counts[id]})
+	}
+	// Deterministic edge order.
+	keys := make([]edgeKey, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].from != keys[b].from {
+			return keys[a].from < keys[b].from
+		}
+		return keys[a].to < keys[b].to
+	})
+	for _, k := range keys {
+		si, ok1 := index[k.from]
+		di, ok2 := index[k.to]
+		if ok1 && ok2 {
+			eg.Edges = append(eg.Edges, exttsp.Edge{Src: si, Dst: di, Weight: g.edges[k]})
+		}
+	}
+	return eg, index
+}
+
+// sortedFuncNames yields DCFG function names deterministically.
+func sortedFuncNames(graphs map[string]*dcfg) []string {
+	names := make([]string, 0, len(graphs))
+	for n := range graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// layoutIntra produces one hot cluster per function (intra-function
+// layout, the configuration evaluated throughout §5) and a global function
+// order via call-chain clustering.
+func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInfo, callEdges map[callKey]uint64, cfg Config) error {
+	names := sortedFuncNames(graphs)
+	type hotFunc struct {
+		name    string
+		samples uint64
+	}
+	var hot []hotFunc
+	for _, fn := range names {
+		g := graphs[fn]
+		if g.info == nil || g.info.entryID < 0 {
+			continue
+		}
+		ids := g.hotBlocks(cfg.hotThreshold())
+		if len(ids) == 0 {
+			continue
+		}
+		eg, _ := g.buildGraph(ids)
+		entryIdx := -1
+		for i, id := range ids {
+			if id == g.info.entryID {
+				entryIdx = i
+			}
+		}
+		order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: entryIdx, UseHeap: !cfg.NaiveExtTSP})
+		if err != nil {
+			return fmt.Errorf("wpa: %s: %w", fn, err)
+		}
+		cluster := make([]int, len(order))
+		for i, oi := range order {
+			cluster[i] = ids[oi]
+		}
+		res.Directives[fn] = layoutfile.ClusterSpec{Clusters: [][]int{cluster}}
+		var samples uint64
+		for _, c := range g.counts {
+			samples += c
+		}
+		hot = append(hot, hotFunc{name: fn, samples: samples})
+	}
+
+	// Global function order: C3 over the hot functions.
+	idx := make(map[string]int, len(hot))
+	funcs := make([]hfsort.Func, len(hot))
+	for i, h := range hot {
+		idx[h.name] = i
+		funcs[i] = hfsort.Func{Name: h.name, Size: infos[h.name].size, Samples: h.samples}
+	}
+	// Aggregate call-site edges to function granularity for hfsort.
+	agg := map[[2]string]uint64{}
+	for k, w := range callEdges {
+		agg[[2]string{k.fn, k.callee}] += w
+	}
+	var calls []hfsort.Call
+	callKeys := make([][2]string, 0, len(agg))
+	for k := range agg {
+		callKeys = append(callKeys, k)
+	}
+	sort.Slice(callKeys, func(a, b int) bool {
+		if callKeys[a][0] != callKeys[b][0] {
+			return callKeys[a][0] < callKeys[b][0]
+		}
+		return callKeys[a][1] < callKeys[b][1]
+	})
+	for _, k := range callKeys {
+		ci, ok1 := idx[k[0]]
+		ce, ok2 := idx[k[1]]
+		if ok1 && ok2 {
+			calls = append(calls, hfsort.Call{Caller: ci, Callee: ce, Weight: agg[k]})
+		}
+	}
+	order := hfsort.Order(funcs, calls, cfg.MaxClusterSize)
+	for _, fi := range order {
+		res.Order.Symbols = append(res.Order.Symbols, funcs[fi].Name)
+	}
+	// Cold split parts are grouped after all hot code.
+	for _, fi := range order {
+		fn := funcs[fi].Name
+		if len(res.Directives[fn].Clusters[0]) < len(infos[fn].order) {
+			res.Order.Symbols = append(res.Order.Symbols, fn+".cold")
+		}
+	}
+	return nil
+}
+
+// layoutInterProc runs one global Ext-TSP over all hot blocks with call
+// edges included (§4.7), then slices the global chain into per-function
+// cluster sections and a symbol order matching the chain.
+func layoutInterProc(res *Result, graphs map[string]*dcfg, infos map[string]*funcInfo, callEdges map[callKey]uint64, cfg Config) error {
+	names := sortedFuncNames(graphs)
+	type globalNode struct {
+		fn string
+		id int
+	}
+	var nodes []globalNode
+	index := map[globalNode]int{}
+	eg := &exttsp.Graph{}
+	for _, fn := range names {
+		g := graphs[fn]
+		if g.info == nil || g.info.entryID < 0 {
+			continue
+		}
+		for _, id := range g.hotBlocks(cfg.hotThreshold()) {
+			n := globalNode{fn, id}
+			index[n] = len(nodes)
+			nodes = append(nodes, n)
+			eg.Nodes = append(eg.Nodes, exttsp.Node{Size: g.info.sizes[id], Count: g.counts[id]})
+		}
+	}
+	for _, fn := range names {
+		g := graphs[fn]
+		keys := make([]edgeKey, 0, len(g.edges))
+		for k := range g.edges {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].from != keys[b].from {
+				return keys[a].from < keys[b].from
+			}
+			return keys[a].to < keys[b].to
+		})
+		for _, k := range keys {
+			si, ok1 := index[globalNode{fn, k.from}]
+			di, ok2 := index[globalNode{fn, k.to}]
+			if ok1 && ok2 {
+				eg.Edges = append(eg.Edges, exttsp.Edge{Src: si, Dst: di, Weight: g.edges[k]})
+			}
+		}
+	}
+	callKeys := make([]callKey, 0, len(callEdges))
+	for k := range callEdges {
+		callKeys = append(callKeys, k)
+	}
+	sort.Slice(callKeys, func(a, b int) bool {
+		ka, kb := callKeys[a], callKeys[b]
+		if ka.fn != kb.fn {
+			return ka.fn < kb.fn
+		}
+		if ka.block != kb.block {
+			return ka.block < kb.block
+		}
+		return ka.callee < kb.callee
+	})
+	for _, k := range callKeys {
+		calleeInfo := infos[k.callee]
+		if calleeInfo == nil {
+			continue
+		}
+		di, ok := index[globalNode{k.callee, calleeInfo.entryID}]
+		if !ok {
+			continue
+		}
+		// The call edge attaches to its call-site block; this is what
+		// lets the global layout split a multi-modal caller between its
+		// call sites (Fig. 3).
+		if si, ok := index[globalNode{k.fn, k.block}]; ok {
+			eg.Edges = append(eg.Edges, exttsp.Edge{Src: si, Dst: di, Weight: callEdges[k]})
+		}
+	}
+
+	order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: -1, UseHeap: !cfg.NaiveExtTSP})
+	if err != nil {
+		return fmt.Errorf("wpa: global layout: %w", err)
+	}
+
+	// Slice the global chain into per-function runs, splitting any run so
+	// that the run containing a function's entry starts with it (codegen
+	// requires the primary cluster to begin with the entry block).
+	type run struct {
+		fn  string
+		ids []int
+	}
+	var runs []run
+	for _, oi := range order {
+		n := nodes[oi]
+		isEntry := infos[n.fn] != nil && n.id == infos[n.fn].entryID
+		if len(runs) > 0 && runs[len(runs)-1].fn == n.fn && !isEntry {
+			runs[len(runs)-1].ids = append(runs[len(runs)-1].ids, n.id)
+		} else {
+			runs = append(runs, run{fn: n.fn, ids: []int{n.id}})
+		}
+	}
+	// Build directives: the entry run becomes cluster 0; the rest keep
+	// global order. Symbols follow the global run order.
+	clustersOf := map[string][][]int{}
+	entryRunOf := map[string]int{}
+	for _, r := range runs {
+		fi := infos[r.fn]
+		if fi != nil && r.ids[0] == fi.entryID {
+			entryRunOf[r.fn] = len(clustersOf[r.fn])
+		}
+		clustersOf[r.fn] = append(clustersOf[r.fn], r.ids)
+	}
+	// Reorder each function's clusters so the entry run is first, and
+	// compute each run's final symbol name.
+	symbolOfRun := map[string]map[int]string{}
+	for fn, clusters := range clustersOf {
+		er, ok := entryRunOf[fn]
+		if !ok {
+			return fmt.Errorf("wpa: %s: global layout lost the entry block", fn)
+		}
+		perm := []int{er}
+		for i := range clusters {
+			if i != er {
+				perm = append(perm, i)
+			}
+		}
+		reordered := make([][]int, len(clusters))
+		symbolOfRun[fn] = map[int]string{}
+		for newIdx, oldIdx := range perm {
+			reordered[newIdx] = clusters[oldIdx]
+			if newIdx == 0 {
+				symbolOfRun[fn][oldIdx] = fn
+			} else {
+				symbolOfRun[fn][oldIdx] = fmt.Sprintf("%s.%d", fn, newIdx)
+			}
+		}
+		res.Directives[fn] = layoutfile.ClusterSpec{Clusters: reordered}
+	}
+	// Emit ld_prof symbols in global run order.
+	runCounter := map[string]int{}
+	for _, r := range runs {
+		i := runCounter[r.fn]
+		runCounter[r.fn] = i + 1
+		res.Order.Symbols = append(res.Order.Symbols, symbolOfRun[r.fn][i])
+	}
+	// Cold parts last.
+	for _, fn := range sortedFuncNames(graphs) {
+		spec, ok := res.Directives[fn]
+		if !ok {
+			continue
+		}
+		listed := 0
+		for _, c := range spec.Clusters {
+			listed += len(c)
+		}
+		if listed < len(infos[fn].order) {
+			res.Order.Symbols = append(res.Order.Symbols, fn+".cold")
+		}
+	}
+	return nil
+}
