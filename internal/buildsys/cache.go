@@ -1,0 +1,126 @@
+// Package buildsys models the distributed build system the paper's
+// argument rests on (§2.1, §3.4–3.5): a fleet of build workers with
+//
+//   - content-addressed action caches shared across builds and phases,
+//     so unchanged work is never redone (the >90% hit rates of §2.1 that
+//     make Phase-4 cold-object reuse nearly free);
+//
+//   - admission control with a hard per-action RAM ceiling (~12GB on the
+//     shared fleet) that a monolithic post-link rewriter cannot fit while
+//     every sharded Propeller action does;
+//
+//   - a deterministic time model: actions carry modeled single-core Cost
+//     seconds, and the executor list-schedules them over its slots, so
+//     makespans for Table 5 / Fig 9 are byte-identical across runs and
+//     machines instead of depending on wall clocks.
+//
+// Action Run closures still execute for real — on a goroutine pool
+// bounded by the executor's slot count — only the reported *times* are
+// modeled.
+package buildsys
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Key hashes the given parts into a content-address. Parts are
+// length-prefixed before hashing so the boundary between parts is part of
+// the identity: Key([]byte("ab"), []byte("c")) differs from
+// Key([]byte("a"), []byte("bc")).
+func Key(parts ...[]byte) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeyStrings is Key over string parts.
+func KeyStrings(parts ...string) string {
+	bs := make([][]byte, len(parts))
+	for i, s := range parts {
+		bs[i] = []byte(s)
+	}
+	return Key(bs...)
+}
+
+// Cache is a content-addressed artifact store (the IR and object caches
+// of Phases 1–2, consulted again by the Phase-4 relink). It is safe for
+// concurrent use: codegen actions running in parallel on the executor
+// read and write it directly.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string][]byte
+
+	hits      int64
+	misses    int64
+	liveBytes int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string][]byte{}}
+}
+
+// Get returns a copy of the artifact stored under key. The copy keeps
+// callers from aliasing cache-owned memory (decoding an object in one
+// action must not be able to corrupt another action's fetch).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, true
+}
+
+// Put stores a copy of data under key. Content addressing makes
+// overwrites idempotent by construction, so Put does not distinguish
+// insert from replace.
+func (c *Cache) Put(key string, data []byte) {
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.liveBytes -= int64(len(old))
+	}
+	c.entries[key] = stored
+	c.liveBytes += int64(len(stored))
+}
+
+// Contains reports whether key is present without touching the hit/miss
+// counters (an existence probe, not a fetch).
+func (c *Cache) Contains(key string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Len returns the number of stored artifacts.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the fetch counters and current contents: Get hits, Get
+// misses, stored artifact count, and stored bytes. It is how the
+// cold-object-reuse story of Fig 9 is observed by tests and reports.
+func (c *Cache) Stats() (hits, misses int64, entries int, bytes int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses, len(c.entries), c.liveBytes
+}

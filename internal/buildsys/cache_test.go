@@ -1,0 +1,102 @@
+package buildsys
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyPartBoundaries(t *testing.T) {
+	// The split between parts is part of the identity.
+	if Key([]byte("ab"), []byte("c")) == Key([]byte("a"), []byte("bc")) {
+		t.Error("Key ignores part boundaries")
+	}
+	if Key([]byte("ab")) == Key([]byte("ab"), nil) {
+		t.Error("trailing empty part does not change the key")
+	}
+	if Key([]byte("ab")) != Key([]byte("ab")) {
+		t.Error("Key not deterministic")
+	}
+	if KeyStrings("obj", "k1") != Key([]byte("obj"), []byte("k1")) {
+		t.Error("KeyStrings disagrees with Key")
+	}
+	if len(Key()) == 0 {
+		t.Error("empty key")
+	}
+}
+
+func TestCachePutGetStats(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	k := KeyStrings("ir", "mod1")
+	c.Put(k, []byte("artifact"))
+	got, ok := c.Get(k)
+	if !ok || string(got) != "artifact" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if !c.Contains(k) || c.Contains("nope") {
+		t.Error("Contains wrong")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	hits, misses, entries, bytes := c.Stats()
+	if hits != 1 || misses != 1 || entries != 1 || bytes != int64(len("artifact")) {
+		t.Errorf("Stats = %d hits, %d misses, %d entries, %d bytes", hits, misses, entries, bytes)
+	}
+	// Re-Put under the same key replaces, not accumulates, the bytes.
+	c.Put(k, []byte("v2"))
+	_, _, entries, bytes = c.Stats()
+	if entries != 1 || bytes != 2 {
+		t.Errorf("after overwrite: %d entries, %d bytes", entries, bytes)
+	}
+}
+
+func TestCacheIsolatesCallerBuffers(t *testing.T) {
+	c := NewCache()
+	src := []byte("original")
+	c.Put("k", src)
+	src[0] = 'X' // caller mutates its buffer after Put
+	got, _ := c.Get("k")
+	if string(got) != "original" {
+		t.Errorf("Put aliased caller memory: %q", got)
+	}
+	got[0] = 'Y' // caller mutates a fetched artifact
+	again, _ := c.Get("k")
+	if string(again) != "original" {
+		t.Errorf("Get aliased cache memory: %q", again)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := KeyStrings("obj", fmt.Sprintf("%d-%d", w, i))
+				c.Put(k, []byte{byte(w), byte(i)})
+				if data, ok := c.Get(k); !ok || len(data) != 2 {
+					t.Errorf("lost own write %s", k)
+				}
+				c.Get("miss") // exercise the miss path concurrently too
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", c.Len(), writers*perWriter)
+	}
+	hits, misses, entries, bytes := c.Stats()
+	if hits != writers*perWriter || misses != writers*perWriter {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+	if entries != writers*perWriter || bytes != int64(2*writers*perWriter) {
+		t.Errorf("entries=%d bytes=%d", entries, bytes)
+	}
+}

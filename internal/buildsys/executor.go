@@ -1,0 +1,134 @@
+package buildsys
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fleet environment constants. Only ratios and ceilings matter for the
+// reproduced figures; the values mirror the paper's build setup.
+const (
+	// WorkstationSlots is the 72-core developer machine of §5 used for
+	// the open-source and SPEC rows.
+	WorkstationSlots = 72
+
+	// DistributedSlots is the per-build fleet allocation the modeled
+	// distributed builds run under.
+	DistributedSlots = 64
+
+	// DistributedMemLimit is the hard per-action RAM ceiling on the
+	// shared fleet (~12GB, §2.1). A monolithic BOLT rewrite of a WSC
+	// binary does not fit under it; every sharded Propeller action does.
+	DistributedMemLimit = 12 << 30
+
+	// SuperrootMemLimit is the raised ceiling of the high-memory worker
+	// pool the largest application (Superroot) builds on; its final link
+	// alone outgrows the standard 12GB class.
+	SuperrootMemLimit = 64 << 30
+)
+
+// Action is one schedulable unit of build work: a backend codegen shard,
+// a link, a profile conversion. Cost is modeled single-core seconds;
+// MemBytes is the modeled peak RSS the admission controller checks
+// against the executor's ceiling; Run does the real work.
+type Action struct {
+	Name     string
+	Cost     float64
+	MemBytes int64
+	Run      func() error
+}
+
+// Executor runs actions on an environment with Slots parallel workers
+// and, when MemLimit > 0, a hard per-action memory ceiling. The zero
+// MemLimit means no ceiling (a dedicated machine, not the shared fleet).
+type Executor struct {
+	Slots    int
+	MemLimit int64
+}
+
+// Workstation returns the single-machine environment: 72 cores, no
+// fleet admission ceiling.
+func Workstation() *Executor {
+	return &Executor{Slots: WorkstationSlots}
+}
+
+// Distributed returns the standard fleet allocation: 64 slots, 12GB
+// per-action ceiling.
+func Distributed() *Executor {
+	return &Executor{Slots: DistributedSlots, MemLimit: DistributedMemLimit}
+}
+
+func (e *Executor) slots() int {
+	if e.Slots < 1 {
+		return 1
+	}
+	return e.Slots
+}
+
+// ExecStats summarizes one Execute batch under the deterministic time
+// model.
+type ExecStats struct {
+	Actions       int     // actions run
+	TotalCost     float64 // summed single-core seconds
+	Makespan      float64 // modeled wall time over Slots workers
+	PeakActionMem int64   // largest single action's modeled memory
+	Slots         int     // parallelism the makespan was modeled at
+}
+
+// Execute admits, schedules, and runs a batch of actions.
+//
+// Admission control runs first: any action whose MemBytes exceeds the
+// executor's ceiling fails the whole batch before anything runs — the
+// build system has no worker class to place it on, exactly the
+// constraint that rules out monolithic post-link rewrites (§2.1).
+//
+// Admitted actions' Run closures then execute on a goroutine pool
+// bounded by Slots. All actions run even if some fail; the returned
+// error is the failure of the earliest action in submission order, so
+// error reporting is deterministic regardless of goroutine interleaving.
+//
+// The returned stats come from the time model, not the wall clock:
+// Makespan is deterministic list scheduling of the modeled Cost seconds
+// over Slots slots (see makespan), byte-identical across runs.
+func (e *Executor) Execute(actions []*Action) (*ExecStats, error) {
+	stats := &ExecStats{Actions: len(actions), Slots: e.slots()}
+	for _, a := range actions {
+		if e.MemLimit > 0 && a.MemBytes > e.MemLimit {
+			return nil, fmt.Errorf(
+				"buildsys: action %q needs %.1fGB but the per-action ceiling is %.1fGB: no worker class fits it; shard the work or use a dedicated machine",
+				a.Name, gb(a.MemBytes), gb(e.MemLimit))
+		}
+		stats.TotalCost += a.Cost
+		if a.MemBytes > stats.PeakActionMem {
+			stats.PeakActionMem = a.MemBytes
+		}
+	}
+	stats.Makespan = makespan(actions, e.slots())
+
+	errs := make([]error, len(actions))
+	sem := make(chan struct{}, e.slots())
+	var wg sync.WaitGroup
+	for i, a := range actions {
+		if a.Run == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, a *Action) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := a.Run(); err != nil {
+				errs[i] = fmt.Errorf("buildsys: action %q: %w", a.Name, err)
+			}
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+func gb(bytes int64) float64 { return float64(bytes) / (1 << 30) }

@@ -1,0 +1,158 @@
+package buildsys
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEnvironments(t *testing.T) {
+	w := Workstation()
+	if w.Slots != WorkstationSlots || w.MemLimit != 0 {
+		t.Errorf("Workstation = %+v", *w)
+	}
+	d := Distributed()
+	if d.Slots != DistributedSlots || d.MemLimit != DistributedMemLimit {
+		t.Errorf("Distributed = %+v", *d)
+	}
+	if DistributedMemLimit != 12<<30 {
+		t.Errorf("fleet ceiling = %d, want 12GB", int64(DistributedMemLimit))
+	}
+	if SuperrootMemLimit <= DistributedMemLimit {
+		t.Error("high-memory pool not above the standard ceiling")
+	}
+}
+
+func TestAdmissionControlBoundary(t *testing.T) {
+	e := &Executor{Slots: 4, MemLimit: 1 << 30}
+	ran := false
+	at := func(mem int64) *Action {
+		return &Action{Name: "probe", Cost: 1, MemBytes: mem, Run: func() error { ran = true; return nil }}
+	}
+	// Exactly at the ceiling: admitted.
+	if _, err := e.Execute([]*Action{at(1 << 30)}); err != nil || !ran {
+		t.Fatalf("at-ceiling action: err=%v ran=%v", err, ran)
+	}
+	// One byte over: the batch is refused and nothing runs.
+	ran = false
+	_, err := e.Execute([]*Action{at(1<<30 + 1)})
+	if err == nil {
+		t.Fatal("over-ceiling action admitted")
+	}
+	if ran {
+		t.Error("rejected action still ran")
+	}
+	if !strings.Contains(err.Error(), "probe") || !strings.Contains(err.Error(), "ceiling") {
+		t.Errorf("undescriptive rejection: %v", err)
+	}
+	// No ceiling (workstation model): the same action is fine.
+	if _, err := (&Executor{Slots: 4}).Execute([]*Action{at(1<<30 + 1)}); err != nil {
+		t.Errorf("unlimited executor rejected action: %v", err)
+	}
+}
+
+func TestRejectionPreemptsAllWork(t *testing.T) {
+	// An oversized action anywhere in the batch keeps the whole batch
+	// from starting: the build system schedules all-or-nothing.
+	var ran atomic.Int32
+	ok := &Action{Name: "small", Cost: 1, MemBytes: 1, Run: func() error { ran.Add(1); return nil }}
+	big := &Action{Name: "bolt", Cost: 1, MemBytes: 36 << 30, Run: func() error { ran.Add(1); return nil }}
+	if _, err := Distributed().Execute([]*Action{ok, big, ok}); err == nil {
+		t.Fatal("batch with oversized action admitted")
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d actions ran from a rejected batch", n)
+	}
+}
+
+func TestExecuteRunsAllAndBoundsParallelism(t *testing.T) {
+	const slots = 3
+	e := &Executor{Slots: slots}
+	var running, peak, count atomic.Int32
+	var mu sync.Mutex
+	actions := make([]*Action, 20)
+	for i := range actions {
+		actions[i] = &Action{Name: "a", Cost: 0.1, MemBytes: 1, Run: func() error {
+			cur := running.Add(1)
+			mu.Lock()
+			if cur > peak.Load() {
+				peak.Store(cur)
+			}
+			mu.Unlock()
+			for j := 0; j < 1000; j++ {
+				_ = j // busy enough for workers to overlap
+			}
+			running.Add(-1)
+			count.Add(1)
+			return nil
+		}}
+	}
+	stats, err := e.Execute(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 20 {
+		t.Errorf("ran %d of 20 actions", count.Load())
+	}
+	if p := peak.Load(); p > slots {
+		t.Errorf("observed %d concurrent actions, pool bound is %d", p, slots)
+	}
+	if stats.Actions != 20 || stats.Slots != slots {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestExecuteFirstErrorDeterministic(t *testing.T) {
+	errA := errors.New("boom-a")
+	errB := errors.New("boom-b")
+	actions := []*Action{
+		{Name: "ok", Cost: 1, Run: func() error { return nil }},
+		{Name: "first-fail", Cost: 1, Run: func() error { return errA }},
+		{Name: "second-fail", Cost: 1, Run: func() error { return errB }},
+	}
+	for i := 0; i < 20; i++ { // goroutine interleaving must not matter
+		_, err := (&Executor{Slots: 8}).Execute(actions)
+		if !errors.Is(err, errA) {
+			t.Fatalf("run %d: err = %v, want the submission-order first failure %v", i, err, errA)
+		}
+		if !strings.Contains(err.Error(), "first-fail") {
+			t.Fatalf("error does not name the failing action: %v", err)
+		}
+	}
+}
+
+func TestExecuteEmptyAndNilRun(t *testing.T) {
+	stats, err := Distributed().Execute(nil)
+	if err != nil || stats.Actions != 0 || stats.Makespan != 0 || stats.PeakActionMem != 0 {
+		t.Errorf("empty batch: stats=%+v err=%v", stats, err)
+	}
+	// A nil Run is a pure cost-model action (e.g. modeling remote work).
+	stats, err = Distributed().Execute([]*Action{{Name: "modeled", Cost: 2.5, MemBytes: 5}})
+	if err != nil || stats.TotalCost != 2.5 || stats.PeakActionMem != 5 {
+		t.Errorf("nil-Run action: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestExecStatsAccounting(t *testing.T) {
+	actions := []*Action{
+		{Name: "a", Cost: 1, MemBytes: 100},
+		{Name: "b", Cost: 2, MemBytes: 700},
+		{Name: "c", Cost: 3, MemBytes: 300},
+	}
+	stats, err := (&Executor{Slots: 2}).Execute(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalCost != 6 {
+		t.Errorf("TotalCost = %v, want 6", stats.TotalCost)
+	}
+	if stats.PeakActionMem != 700 {
+		t.Errorf("PeakActionMem = %d, want 700", stats.PeakActionMem)
+	}
+	// List scheduling on 2 slots: a→s0, b→s1, c→s0(free at 1) ⇒ finish 4.
+	if stats.Makespan != 4 {
+		t.Errorf("Makespan = %v, want 4", stats.Makespan)
+	}
+}

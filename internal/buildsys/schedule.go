@@ -1,0 +1,58 @@
+package buildsys
+
+import "container/heap"
+
+// makespan computes the modeled wall time of running the actions' Cost
+// seconds over n parallel slots using deterministic list scheduling:
+// actions are taken in submission order and each is placed on the slot
+// that frees earliest (ties broken by slot index). The result depends
+// only on the cost sequence and n — never on goroutine timing — so
+// Table 5 / Fig 9 numbers reproduce bit-for-bit.
+//
+// List scheduling is the classic 2-approximation of optimal makespan
+// (Graham); build systems use it online for exactly this shape of
+// problem, so the model's shape matches the modeled system.
+func makespan(actions []*Action, n int) float64 {
+	if len(actions) == 0 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(actions) {
+		n = len(actions)
+	}
+	slots := make(slotHeap, n)
+	for i := range slots {
+		slots[i].index = i
+	}
+	heap.Init(&slots)
+	var maxFinish float64
+	for _, a := range actions {
+		s := &slots[0]
+		s.free += a.Cost
+		if s.free > maxFinish {
+			maxFinish = s.free
+		}
+		heap.Fix(&slots, 0)
+	}
+	return maxFinish
+}
+
+type slot struct {
+	free  float64 // time at which this slot next becomes available
+	index int     // stable tiebreak so scheduling is deterministic
+}
+
+type slotHeap []slot
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].index < h[j].index
+}
+func (h slotHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)   { *h = append(*h, x.(slot)) }
+func (h *slotHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

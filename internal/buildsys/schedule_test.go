@@ -1,0 +1,97 @@
+package buildsys
+
+import (
+	"math"
+	"testing"
+)
+
+func costActions(costs ...float64) []*Action {
+	out := make([]*Action, len(costs))
+	for i, c := range costs {
+		out[i] = &Action{Name: "a", Cost: c}
+	}
+	return out
+}
+
+func TestMakespanKnownSchedules(t *testing.T) {
+	cases := []struct {
+		costs []float64
+		slots int
+		want  float64
+	}{
+		{nil, 4, 0},
+		{[]float64{5}, 1, 5},
+		{[]float64{5}, 64, 5},               // one action can't go faster than itself
+		{[]float64{1, 1, 1, 1}, 1, 4},       // serial
+		{[]float64{1, 1, 1, 1}, 2, 2},       // perfect split
+		{[]float64{3, 2, 2}, 2, 4},          // 3|22
+		{[]float64{2, 2, 3}, 2, 5},          // list order matters: 23|2
+		{[]float64{1, 1, 1, 6}, 4, 6},       // dominated by the long action
+		{[]float64{1, 2, 3, 4, 5, 6}, 3, 9}, // 1+4 | 2+5 | 3+6
+		{[]float64{0, 0, 0}, 2, 0},          // zero-cost actions
+	}
+	for _, c := range cases {
+		got := makespan(costActions(c.costs...), c.slots)
+		if got != c.want {
+			t.Errorf("makespan(%v, %d slots) = %v, want %v", c.costs, c.slots, got, c.want)
+		}
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	// For any schedule: max(longest action, total/slots) ≤ makespan ≤ total.
+	costs := []float64{0.4, 2.2, 1.1, 0.9, 3.3, 0.7, 1.6, 2.8, 0.2, 1.9}
+	var total, longest float64
+	for _, c := range costs {
+		total += c
+		if c > longest {
+			longest = c
+		}
+	}
+	prev := math.Inf(1)
+	for _, slots := range []int{1, 2, 3, 8, 64} {
+		m := makespan(costActions(costs...), slots)
+		lower := math.Max(longest, total/float64(slots))
+		if m < lower-1e-12 || m > total+1e-12 {
+			t.Errorf("%d slots: makespan %v outside [%v, %v]", slots, m, lower, total)
+		}
+		if m > prev {
+			t.Errorf("%d slots: makespan %v worse than with fewer slots (%v)", slots, m, prev)
+		}
+		prev = m
+	}
+	if makespan(costActions(costs...), 1) != total {
+		t.Error("serial makespan is not the total cost")
+	}
+}
+
+func TestMakespanDeterministic(t *testing.T) {
+	// Execute's modeled stats must be byte-identical across repeated runs
+	// even though the Run closures race across a real worker pool.
+	actions := make([]*Action, 200)
+	for i := range actions {
+		actions[i] = &Action{
+			Name:     "a",
+			Cost:     0.1 + float64(i%17)*0.03,
+			MemBytes: int64(i%13) << 20,
+			Run:      func() error { return nil },
+		}
+	}
+	e := &Executor{Slots: 16}
+	first, err := e.Execute(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := e.Execute(actions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *first {
+			t.Fatalf("run %d: stats %+v != first run %+v", i, *got, *first)
+		}
+	}
+	if first.Makespan <= 0 || first.TotalCost <= first.Makespan {
+		t.Errorf("implausible model: %+v", *first)
+	}
+}

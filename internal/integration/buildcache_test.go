@@ -1,0 +1,59 @@
+package integration_test
+
+import (
+	"testing"
+
+	"propeller/internal/buildsys"
+	"propeller/internal/core"
+	"propeller/internal/workload"
+)
+
+// TestWarmCacheSkipsCodegen drives the whole pipeline twice over shared
+// caches — a cold release build followed by a warm rebuild of identical
+// sources — and checks the §2.1 contract: the warm Phase-2 backends run
+// zero codegen actions because every object comes out of the
+// content-addressed cache.
+func TestWarmCacheSkipsCodegen(t *testing.T) {
+	prog, err := workload.Generate(workload.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{
+		IRCache:  buildsys.NewCache(),
+		ObjCache: buildsys.NewCache(),
+	}
+	train := core.RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}
+
+	cold, err := core.Optimize(prog.Core, train, opts)
+	if err != nil {
+		t.Fatalf("cold build: %v", err)
+	}
+	if cold.Metadata.Exec.Actions == 0 {
+		t.Fatal("cold build ran no codegen actions")
+	}
+	coldHits, _, _, _ := opts.ObjCache.Stats()
+
+	warm, err := core.Optimize(prog.Core, train, opts)
+	if err != nil {
+		t.Fatalf("warm build: %v", err)
+	}
+	if warm.Metadata.Exec.Actions != 0 {
+		t.Errorf("warm build ran %d codegen actions, want 0 (all objects cached)", warm.Metadata.Exec.Actions)
+	}
+	warmHits, _, _, _ := opts.ObjCache.Stats()
+	if warmHits <= coldHits {
+		t.Errorf("warm build added no cache hits: %d -> %d", coldHits, warmHits)
+	}
+	if warm.Metadata.Backends >= cold.Metadata.Backends {
+		t.Errorf("warm backends %.2fs not cheaper than cold %.2fs", warm.Metadata.Backends, cold.Metadata.Backends)
+	}
+	if warm.Phase2.Makespan >= cold.Phase2.Makespan {
+		t.Errorf("warm Phase-2 makespan %.2fs not below cold %.2fs", warm.Phase2.Makespan, cold.Phase2.Makespan)
+	}
+
+	// Identical inputs ⇒ identical outputs, cold or warm.
+	cb, wb := cold.Optimized.Binary, warm.Optimized.Binary
+	if cb.Entry != wb.Entry || len(cb.Text) != len(wb.Text) {
+		t.Error("warm rebuild produced a different optimized binary")
+	}
+}

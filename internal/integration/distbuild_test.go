@@ -1,0 +1,68 @@
+// Integration coverage for the distributed-build story that
+// examples/distbuild walks through: the per-action RAM ceiling that
+// refuses a monolithic paper-scale BOLT action on the fleet, and the
+// warm-cache relink economics.
+package integration_test
+
+import (
+	"strings"
+	"testing"
+
+	"propeller/internal/buildsys"
+)
+
+// paperScaleBolt is the 36GB Superroot profile-conversion action of
+// Fig 4, as examples/distbuild schedules it.
+func paperScaleBolt(ran *bool) *buildsys.Action {
+	return &buildsys.Action{
+		Name:     "llvm-bolt superroot (paper scale)",
+		Cost:     3600,
+		MemBytes: 36 << 30,
+		Run:      func() error { *ran = true; return nil },
+	}
+}
+
+func TestFleetRefusesPaperScaleBolt(t *testing.T) {
+	var ran bool
+	_, err := buildsys.Distributed().Execute([]*buildsys.Action{paperScaleBolt(&ran)})
+	if err == nil {
+		t.Fatal("36GB action admitted under the 12GB fleet ceiling")
+	}
+	if ran {
+		t.Error("refused action still executed")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "llvm-bolt superroot") || !strings.Contains(msg, "ceiling") {
+		t.Errorf("rejection does not explain itself: %v", err)
+	}
+}
+
+func TestWorkstationAdmitsPaperScaleBolt(t *testing.T) {
+	// Off-fleet there is no admission ceiling — the same action runs
+	// (the paper's BOLT numbers come from dedicated big-memory machines).
+	var ran bool
+	stats, err := buildsys.Workstation().Execute([]*buildsys.Action{paperScaleBolt(&ran)})
+	if err != nil {
+		t.Fatalf("workstation refused the action: %v", err)
+	}
+	if !ran {
+		t.Error("admitted action never executed")
+	}
+	if stats.PeakActionMem != 36<<30 || stats.Makespan != 3600 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestSuperrootPoolSitsBetween(t *testing.T) {
+	// The high-memory pool admits what the standard fleet refuses, but it
+	// is still a ceiling, not a blank check.
+	pool := &buildsys.Executor{Slots: buildsys.DistributedSlots, MemLimit: buildsys.SuperrootMemLimit}
+	link := &buildsys.Action{Name: "superroot link", Cost: 100, MemBytes: 36 << 30, Run: func() error { return nil }}
+	if _, err := pool.Execute([]*buildsys.Action{link}); err != nil {
+		t.Errorf("high-memory pool refused a 36GB link: %v", err)
+	}
+	huge := &buildsys.Action{Name: "monolith", Cost: 100, MemBytes: buildsys.SuperrootMemLimit + 1}
+	if _, err := pool.Execute([]*buildsys.Action{huge}); err == nil {
+		t.Error("high-memory pool admitted an action above its own ceiling")
+	}
+}
