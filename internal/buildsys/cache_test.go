@@ -42,15 +42,18 @@ func TestCachePutGetStats(t *testing.T) {
 	if c.Len() != 1 {
 		t.Errorf("Len = %d", c.Len())
 	}
-	hits, misses, entries, bytes := c.Stats()
-	if hits != 1 || misses != 1 || entries != 1 || bytes != int64(len("artifact")) {
-		t.Errorf("Stats = %d hits, %d misses, %d entries, %d bytes", hits, misses, entries, bytes)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != int64(len("artifact")) {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.Evictions != 0 || st.EvictedBytes != 0 || st.RemoteFetches != 0 || st.RemoteBytes != 0 {
+		t.Errorf("unbounded single-tier cache has tier activity: %+v", st)
 	}
 	// Re-Put under the same key replaces, not accumulates, the bytes.
 	c.Put(k, []byte("v2"))
-	_, _, entries, bytes = c.Stats()
-	if entries != 1 || bytes != 2 {
-		t.Errorf("after overwrite: %d entries, %d bytes", entries, bytes)
+	st = c.Stats()
+	if st.Entries != 1 || st.Bytes != 2 {
+		t.Errorf("after overwrite: %d entries, %d bytes", st.Entries, st.Bytes)
 	}
 }
 
@@ -92,11 +95,11 @@ func TestCacheConcurrent(t *testing.T) {
 	if c.Len() != writers*perWriter {
 		t.Errorf("Len = %d, want %d", c.Len(), writers*perWriter)
 	}
-	hits, misses, entries, bytes := c.Stats()
-	if hits != writers*perWriter || misses != writers*perWriter {
-		t.Errorf("hits=%d misses=%d", hits, misses)
+	st := c.Stats()
+	if st.Hits != writers*perWriter || st.Misses != writers*perWriter {
+		t.Errorf("hits=%d misses=%d", st.Hits, st.Misses)
 	}
-	if entries != writers*perWriter || bytes != int64(2*writers*perWriter) {
-		t.Errorf("entries=%d bytes=%d", entries, bytes)
+	if st.Entries != writers*perWriter || st.Bytes != int64(2*writers*perWriter) {
+		t.Errorf("entries=%d bytes=%d", st.Entries, st.Bytes)
 	}
 }

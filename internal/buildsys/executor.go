@@ -25,6 +25,15 @@ const (
 	// pool the largest application (Superroot) builds on; its final link
 	// alone outgrows the standard 12GB class.
 	SuperrootMemLimit = 64 << 30
+
+	// DistributedPoolMem is the per-build aggregate RSS budget of the
+	// fleet allocation: 64 slots on standard 4GB-class workers. Actions
+	// are admitted individually up to DistributedMemLimit, but a
+	// 12GB-class relink action oversubscribes its slot's share, so the
+	// pool sustains only ~21 of them concurrently — far fewer than the
+	// slot count suggests, which is the fleet-pressure story behind
+	// Table 5.
+	DistributedPoolMem = 256 << 30
 )
 
 // Action is one schedulable unit of build work: a backend codegen shard,
@@ -41,21 +50,26 @@ type Action struct {
 // Executor runs actions on an environment with Slots parallel workers
 // and, when MemLimit > 0, a hard per-action memory ceiling. The zero
 // MemLimit means no ceiling (a dedicated machine, not the shared fleet).
+// PoolMem > 0 additionally bounds the *sum* of concurrently running
+// actions' modeled RSS: the time model delays an action's start until
+// the pool can hold it (see schedule), surfacing the stall time and peak
+// concurrent memory in ExecStats.
 type Executor struct {
 	Slots    int
 	MemLimit int64
+	PoolMem  int64
 }
 
 // Workstation returns the single-machine environment: 72 cores, no
-// fleet admission ceiling.
+// fleet admission ceiling, no pool budget.
 func Workstation() *Executor {
 	return &Executor{Slots: WorkstationSlots}
 }
 
 // Distributed returns the standard fleet allocation: 64 slots, 12GB
-// per-action ceiling.
+// per-action ceiling, 256GB pool budget.
 func Distributed() *Executor {
-	return &Executor{Slots: DistributedSlots, MemLimit: DistributedMemLimit}
+	return &Executor{Slots: DistributedSlots, MemLimit: DistributedMemLimit, PoolMem: DistributedPoolMem}
 }
 
 func (e *Executor) slots() int {
@@ -73,14 +87,25 @@ type ExecStats struct {
 	Makespan      float64 // modeled wall time over Slots workers
 	PeakActionMem int64   // largest single action's modeled memory
 	Slots         int     // parallelism the makespan was modeled at
+
+	// PeakConcurrentMem is the modeled maximum of the running actions'
+	// summed RSS — the batch's actual footprint on the pool (bounded by
+	// PoolMem when one is set).
+	PeakConcurrentMem int64
+
+	// StallSeconds is the modeled slot-time spent claimed-but-waiting for
+	// pool memory to free up (zero without a PoolMem budget).
+	StallSeconds float64
 }
 
 // Execute admits, schedules, and runs a batch of actions.
 //
 // Admission control runs first: any action whose MemBytes exceeds the
-// executor's ceiling fails the whole batch before anything runs — the
-// build system has no worker class to place it on, exactly the
-// constraint that rules out monolithic post-link rewrites (§2.1).
+// executor's per-action ceiling — or the whole pool's memory budget, so
+// no schedule could ever start it — fails the whole batch before
+// anything runs. The build system has no worker class to place it on,
+// exactly the constraint that rules out monolithic post-link rewrites
+// (§2.1).
 //
 // Admitted actions' Run closures then execute on a goroutine pool
 // bounded by Slots. All actions run even if some fail; the returned
@@ -89,7 +114,8 @@ type ExecStats struct {
 //
 // The returned stats come from the time model, not the wall clock:
 // Makespan is deterministic list scheduling of the modeled Cost seconds
-// over Slots slots (see makespan), byte-identical across runs.
+// over Slots slots under the PoolMem budget (see schedule),
+// byte-identical across runs.
 func (e *Executor) Execute(actions []*Action) (*ExecStats, error) {
 	stats := &ExecStats{Actions: len(actions), Slots: e.slots()}
 	for _, a := range actions {
@@ -98,12 +124,20 @@ func (e *Executor) Execute(actions []*Action) (*ExecStats, error) {
 				"buildsys: action %q needs %.1fGB but the per-action ceiling is %.1fGB: no worker class fits it; shard the work or use a dedicated machine",
 				a.Name, gb(a.MemBytes), gb(e.MemLimit))
 		}
+		if e.PoolMem > 0 && a.MemBytes > e.PoolMem {
+			return nil, fmt.Errorf(
+				"buildsys: action %q needs %.1fGB but the whole pool's budget is %.1fGB: no schedule can ever start it",
+				a.Name, gb(a.MemBytes), gb(e.PoolMem))
+		}
 		stats.TotalCost += a.Cost
 		if a.MemBytes > stats.PeakActionMem {
 			stats.PeakActionMem = a.MemBytes
 		}
 	}
-	stats.Makespan = makespan(actions, e.slots())
+	sched := schedule(actions, e.slots(), e.PoolMem)
+	stats.Makespan = sched.makespan
+	stats.PeakConcurrentMem = sched.peakMem
+	stats.StallSeconds = sched.stall
 
 	errs := make([]error, len(actions))
 	sem := make(chan struct{}, e.slots())

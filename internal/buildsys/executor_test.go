@@ -14,7 +14,7 @@ func TestEnvironments(t *testing.T) {
 		t.Errorf("Workstation = %+v", *w)
 	}
 	d := Distributed()
-	if d.Slots != DistributedSlots || d.MemLimit != DistributedMemLimit {
+	if d.Slots != DistributedSlots || d.MemLimit != DistributedMemLimit || d.PoolMem != DistributedPoolMem {
 		t.Errorf("Distributed = %+v", *d)
 	}
 	if DistributedMemLimit != 12<<30 {
@@ -22,6 +22,47 @@ func TestEnvironments(t *testing.T) {
 	}
 	if SuperrootMemLimit <= DistributedMemLimit {
 		t.Error("high-memory pool not above the standard ceiling")
+	}
+	// The pool budget admits full-slot occupancy of ordinary actions but
+	// deliberately not of ceiling-class ones.
+	if DistributedPoolMem >= int64(DistributedSlots)*DistributedMemLimit {
+		t.Error("pool budget admits every slot at the per-action ceiling; fleet pressure unmodeled")
+	}
+	if DistributedPoolMem <= 2*DistributedMemLimit {
+		t.Error("pool budget implausibly tight")
+	}
+}
+
+func TestPoolAdmissionRejectsUnschedulable(t *testing.T) {
+	// An action below the per-action ceiling but above the whole pool's
+	// budget can never start; the batch is refused up front.
+	e := &Executor{Slots: 4, MemLimit: 8 << 30, PoolMem: 4 << 30}
+	ran := false
+	a := &Action{Name: "wide", Cost: 1, MemBytes: 6 << 30, Run: func() error { ran = true; return nil }}
+	_, err := e.Execute([]*Action{a})
+	if err == nil {
+		t.Fatal("unschedulable action admitted")
+	}
+	if ran {
+		t.Error("rejected action still ran")
+	}
+	if !strings.Contains(err.Error(), "pool") || !strings.Contains(err.Error(), "wide") {
+		t.Errorf("undescriptive rejection: %v", err)
+	}
+	// At exactly the pool budget it is schedulable (serially).
+	a.MemBytes = 4 << 30
+	stats, err := e.Execute([]*Action{a, {Name: "peer", Cost: 1, MemBytes: 4 << 30}})
+	if err != nil {
+		t.Fatalf("at-budget actions refused: %v", err)
+	}
+	if stats.PeakConcurrentMem != 4<<30 {
+		t.Errorf("PeakConcurrentMem = %d, want one action's worth", stats.PeakConcurrentMem)
+	}
+	if stats.StallSeconds != 1 {
+		t.Errorf("StallSeconds = %v, want 1 (second action waits out the first)", stats.StallSeconds)
+	}
+	if stats.Makespan != 2 {
+		t.Errorf("Makespan = %v, want 2 (forced serial)", stats.Makespan)
 	}
 }
 

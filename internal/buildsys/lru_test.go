@@ -1,0 +1,137 @@
+package buildsys
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictsOldestTouchedFirst(t *testing.T) {
+	// Budget fits exactly three 4-byte artifacts.
+	c := NewCacheWithBudget(12)
+	c.Put("a", []byte("aaaa"))
+	c.Put("b", []byte("bbbb"))
+	c.Put("c", []byte("cccc"))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch "a" so "b" becomes the oldest.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("lost a")
+	}
+	c.Put("d", []byte("dddd"))
+	if c.Contains("b") {
+		t.Error("b (oldest-touched) survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !c.Contains(k) {
+			t.Errorf("%s evicted out of LRU order", k)
+		}
+	}
+	// Another insert evicts "c", the new oldest.
+	c.Put("e", []byte("eeee"))
+	if c.Contains("c") {
+		t.Error("c survived eviction ahead of a")
+	}
+	if !c.Contains("a") {
+		t.Error("recently touched a was evicted")
+	}
+}
+
+func TestLRUEvictionCountersExact(t *testing.T) {
+	c := NewCacheWithBudget(10)
+	c.Put("k1", []byte("12345")) // 5 bytes
+	c.Put("k2", []byte("12345")) // 5 bytes: at budget
+	st := c.Stats()
+	if st.Evictions != 0 || st.EvictedBytes != 0 || st.Bytes != 10 {
+		t.Fatalf("at budget: %+v", st)
+	}
+	c.Put("k3", []byte("1234567")) // 7 bytes: evicts k1 and k2
+	st = c.Stats()
+	if st.Evictions != 2 || st.EvictedBytes != 10 {
+		t.Errorf("evictions=%d evictedBytes=%d, want 2/10", st.Evictions, st.EvictedBytes)
+	}
+	if st.Entries != 1 || st.Bytes != 7 {
+		t.Errorf("resident %d entries / %d bytes, want 1/7", st.Entries, st.Bytes)
+	}
+	// An artifact larger than the whole budget cannot stay resident.
+	c.Put("huge", make([]byte, 11))
+	st = c.Stats()
+	if st.Bytes > 10 {
+		t.Errorf("local tier over budget: %d bytes", st.Bytes)
+	}
+	if c.Contains("huge") {
+		t.Error("over-budget artifact kept resident")
+	}
+	if st.Evictions != 4 || st.EvictedBytes != 10+7+11 {
+		t.Errorf("after huge: evictions=%d evictedBytes=%d, want 4/%d", st.Evictions, st.EvictedBytes, 10+7+11)
+	}
+}
+
+func TestLRUGetAfterEvictionMisses(t *testing.T) {
+	// Without a remote tier an evicted artifact is gone.
+	c := NewCacheWithBudget(4)
+	c.Put("a", []byte("aaaa"))
+	c.Put("b", []byte("bbbb")) // evicts a
+	if _, cost, ok := c.GetCost("a"); ok || cost != 0 {
+		t.Errorf("evicted artifact found: cost=%v ok=%v", cost, ok)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Evictions != 1 || st.EvictedBytes != 4 {
+		t.Errorf("stats after eviction miss: %+v", st)
+	}
+}
+
+func TestLRUZeroBudgetMeansUnbounded(t *testing.T) {
+	c := NewCacheWithBudget(0)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("xxxx"))
+	}
+	st := c.Stats()
+	if st.Entries != 100 || st.Evictions != 0 {
+		t.Errorf("budget<=0 evicted: %+v", st)
+	}
+}
+
+// TestLRUChurnStaysWithinBudget is the acceptance-criteria churn test:
+// concurrent writers hammer a budgeted cache and the local tier never
+// exceeds its byte budget, while the accounting identity
+// insertedBytes = residentBytes + evictedBytes holds exactly.
+func TestLRUChurnStaysWithinBudget(t *testing.T) {
+	const budget = 1 << 10
+	c := NewCacheWithBudget(budget)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := KeyStrings("churn", fmt.Sprintf("%d-%d", w, i))
+				c.Put(key, make([]byte, 16+(i%5)*16))
+				c.Get(key)
+				if st := c.Stats(); st.Bytes > budget {
+					t.Errorf("mid-churn over budget: %d > %d", st.Bytes, budget)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Errorf("over budget after churn: %d > %d", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Error("churn caused no evictions; budget untested")
+	}
+	var inserted int64
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 200; i++ {
+			inserted += int64(16 + (i%5)*16)
+		}
+	}
+	if st.Bytes+st.EvictedBytes != inserted {
+		t.Errorf("byte accounting leak: resident %d + evicted %d != inserted %d",
+			st.Bytes, st.EvictedBytes, inserted)
+	}
+}

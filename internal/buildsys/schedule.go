@@ -2,19 +2,35 @@ package buildsys
 
 import "container/heap"
 
-// makespan computes the modeled wall time of running the actions' Cost
-// seconds over n parallel slots using deterministic list scheduling:
-// actions are taken in submission order and each is placed on the slot
-// that frees earliest (ties broken by slot index). The result depends
-// only on the cost sequence and n — never on goroutine timing — so
-// Table 5 / Fig 9 numbers reproduce bit-for-bit.
+// The deterministic time model: actions' modeled Cost seconds are list-
+// scheduled over n parallel slots, optionally under a pool-wide
+// concurrent-memory budget. The result depends only on the cost/memory
+// sequence, n, and the budget — never on goroutine timing — so Table 5 /
+// Fig 9 numbers reproduce bit-for-bit.
 //
 // List scheduling is the classic 2-approximation of optimal makespan
 // (Graham); build systems use it online for exactly this shape of
 // problem, so the model's shape matches the modeled system.
-func makespan(actions []*Action, n int) float64 {
+
+// schedStats is what the model derives for one batch.
+type schedStats struct {
+	makespan float64 // finish time of the last action
+	peakMem  int64   // max over time of the running actions' summed RSS
+	stall    float64 // slot-seconds spent claimed but waiting on pool memory
+}
+
+// schedule places actions in submission order, each on the slot that
+// frees earliest (ties broken by slot index). When poolMem > 0 a slot
+// only *starts* its action once the sum of running actions' RSS plus the
+// action's own fits the budget; the queue is FIFO (an action never
+// starts before its predecessor), which both matches a fleet scheduler's
+// admission queue and keeps the memory feasibility check exact: running
+// memory only changes at start events, so bounding it there bounds it
+// everywhere.
+func schedule(actions []*Action, n int, poolMem int64) schedStats {
+	var out schedStats
 	if len(actions) == 0 {
-		return 0
+		return out
 	}
 	if n < 1 {
 		n = 1
@@ -27,16 +43,80 @@ func makespan(actions []*Action, n int) float64 {
 		slots[i].index = i
 	}
 	heap.Init(&slots)
-	var maxFinish float64
+	placed := make([]placedAction, 0, len(actions))
+	var lastStart float64
 	for _, a := range actions {
 		s := &slots[0]
-		s.free += a.Cost
-		if s.free > maxFinish {
-			maxFinish = s.free
+		claimed := s.free
+		start := claimed
+		if lastStart > start {
+			start = lastStart // FIFO: predecessors start first
 		}
+		if poolMem > 0 && a.MemBytes > 0 {
+			// Fleet memory admission: delay the start to successive
+			// action-finish times until the batch's running RSS admits us.
+			for runningMem(placed, start)+a.MemBytes > poolMem {
+				next, ok := nextFinish(placed, start)
+				if !ok {
+					// a.MemBytes alone exceeds poolMem; Execute's
+					// admission check rejects that before scheduling.
+					break
+				}
+				start = next
+			}
+		}
+		if running := runningMem(placed, start) + a.MemBytes; running > out.peakMem {
+			out.peakMem = running
+		}
+		out.stall += start - claimed
+		finish := start + a.Cost
+		placed = append(placed, placedAction{start: start, finish: finish, mem: a.MemBytes})
+		if finish > out.makespan {
+			out.makespan = finish
+		}
+		s.free = finish
 		heap.Fix(&slots, 0)
+		lastStart = start
 	}
-	return maxFinish
+	return out
+}
+
+// makespan is the budget-free model (kept as the common fast path's
+// name; the scheduler itself lives in schedule).
+func makespan(actions []*Action, n int) float64 {
+	return schedule(actions, n, 0).makespan
+}
+
+// placedAction is one scheduled action's interval: it holds mem bytes of
+// pool memory over [start, finish).
+type placedAction struct {
+	start, finish float64
+	mem           int64
+}
+
+// runningMem sums the RSS of placed actions whose interval covers time t.
+func runningMem(placed []placedAction, t float64) int64 {
+	var sum int64
+	for _, p := range placed {
+		if p.start <= t && p.finish > t {
+			sum += p.mem
+		}
+	}
+	return sum
+}
+
+// nextFinish returns the earliest action-finish time strictly after t
+// (the next moment pool memory is released).
+func nextFinish(placed []placedAction, t float64) (float64, bool) {
+	var best float64
+	found := false
+	for _, p := range placed {
+		if p.finish > t && (!found || p.finish < best) {
+			best = p.finish
+			found = true
+		}
+	}
+	return best, found
 }
 
 type slot struct {

@@ -65,6 +65,106 @@ func TestMakespanBounds(t *testing.T) {
 	}
 }
 
+func memActions(cost float64, mem int64, n int) []*Action {
+	out := make([]*Action, n)
+	for i := range out {
+		out[i] = &Action{Name: "m", Cost: cost, MemBytes: mem}
+	}
+	return out
+}
+
+func TestScheduleFleetMemoryKnownCases(t *testing.T) {
+	// 4 identical actions, 4 slots, but the pool only holds 2 at once:
+	// two waves of two.
+	got := schedule(memActions(10, 6, 4), 4, 12)
+	if got.makespan != 20 {
+		t.Errorf("makespan = %v, want 20 (two waves)", got.makespan)
+	}
+	if got.peakMem != 12 {
+		t.Errorf("peakMem = %d, want 12", got.peakMem)
+	}
+	// Actions 3 and 4 each wait 10s on claimed slots.
+	if got.stall != 20 {
+		t.Errorf("stall = %v, want 20", got.stall)
+	}
+
+	// Same batch, pool fits everything: no stall, full concurrency.
+	got = schedule(memActions(10, 6, 4), 4, 64)
+	if got.makespan != 10 || got.stall != 0 || got.peakMem != 24 {
+		t.Errorf("unconstrained pool: %+v", got)
+	}
+
+	// No pool budget: stall stays zero but peak memory is still surfaced.
+	got = schedule(memActions(10, 6, 4), 2, 0)
+	if got.makespan != 20 || got.stall != 0 || got.peakMem != 12 {
+		t.Errorf("budget-free model: %+v", got)
+	}
+}
+
+func TestScheduleFleetMemoryWaves(t *testing.T) {
+	// The headline question: how many 12GB-class relink actions does a
+	// 64-slot / 256GB pool actually sustain? floor(256/12) = 21, so 64
+	// actions run in four waves (21+21+21+1).
+	actions := memActions(60, DistributedMemLimit, 64)
+	got := schedule(actions, DistributedSlots, DistributedPoolMem)
+	if got.makespan != 4*60 {
+		t.Errorf("makespan = %v, want 240 (four waves)", got.makespan)
+	}
+	if want := int64(21) * DistributedMemLimit; got.peakMem != want {
+		t.Errorf("peakMem = %dGB, want 21 actions * 12GB", got.peakMem>>30)
+	}
+	// Waves 2-4 stall on claimed slots: 21*60 + 21*120 + 1*180.
+	if want := float64(21*60 + 21*120 + 180); got.stall != want {
+		t.Errorf("stall = %v, want %v", got.stall, want)
+	}
+}
+
+func TestScheduleMemoryMixedCosts(t *testing.T) {
+	// A long-running hog delays later big actions but small ones that fit
+	// alongside it proceed (FIFO order still respected).
+	actions := []*Action{
+		{Name: "hog", Cost: 100, MemBytes: 10},
+		{Name: "big", Cost: 10, MemBytes: 10},
+		{Name: "small", Cost: 10, MemBytes: 2},
+	}
+	got := schedule(actions, 3, 12)
+	// hog starts at 0; big must wait for hog (10+10 > 12) until t=100;
+	// small (FIFO behind big) starts at 100 too: 2+10 <= 12.
+	if got.makespan != 110 {
+		t.Errorf("makespan = %v, want 110", got.makespan)
+	}
+	if got.peakMem != 12 {
+		t.Errorf("peakMem = %d, want 12", got.peakMem)
+	}
+	if got.stall != 200 {
+		t.Errorf("stall = %v, want 200 (two actions waiting 100s)", got.stall)
+	}
+}
+
+func TestScheduleMoreSlotsNeverWorse(t *testing.T) {
+	// Monotonicity must survive the memory model: for a fixed pool
+	// budget, adding slots never increases the modeled makespan.
+	costs := []float64{0.4, 2.2, 1.1, 0.9, 3.3, 0.7, 1.6, 2.8, 0.2, 1.9, 4.1, 0.3}
+	actions := make([]*Action, len(costs))
+	for i, c := range costs {
+		actions[i] = &Action{Name: "a", Cost: c, MemBytes: int64(1+i%4) << 30}
+	}
+	for _, pool := range []int64{0, 4 << 30, 8 << 30, 64 << 30} {
+		prev := math.Inf(1)
+		for slots := 1; slots <= 16; slots++ {
+			got := schedule(actions, slots, pool)
+			if got.makespan > prev+1e-12 {
+				t.Errorf("pool %dGB: %d slots makespan %v worse than %d slots (%v)",
+					pool>>30, slots, got.makespan, slots-1, prev)
+			}
+			if pool > 0 && got.peakMem > pool {
+				t.Errorf("pool %dGB: %d slots peak %d exceeds budget", pool>>30, slots, got.peakMem)
+			}
+			prev = got.makespan
+		}
+	}
+}
+
 func TestMakespanDeterministic(t *testing.T) {
 	// Execute's modeled stats must be byte-identical across repeated runs
 	// even though the Run closures race across a real worker pool.

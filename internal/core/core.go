@@ -185,6 +185,24 @@ func Phase1CacheIR(p *Program, cache *buildsys.Cache) []string {
 	return keys
 }
 
+// CodegenActions returns the modeled Phase-2 codegen batch for p — the
+// same per-module costs and admission RSS a cold build schedules, but
+// with no Run work attached — so schedulability studies (slot sweeps,
+// fleet memory pressure) can replay a build against arbitrary executors
+// without compiling anything.
+func CodegenActions(p *Program) []*buildsys.Action {
+	out := make([]*buildsys.Action, len(p.Modules))
+	for i, m := range p.Modules {
+		irBytes := int64(len(ir.EncodeModule(m)))
+		out[i] = &buildsys.Action{
+			Name:     "codegen:" + m.Name,
+			Cost:     costCodegenBase + float64(irBytes)*costCodegenPerByte,
+			MemBytes: memCodegenBase + irBytes*memCodegenPerIRByte,
+		}
+	}
+	return out
+}
+
 type compiledObj struct {
 	idx  int
 	obj  *objfile.Object
@@ -192,11 +210,15 @@ type compiledObj struct {
 }
 
 // buildObjects runs one codegen action per module under the executor.
-// Entries of cached that are non-nil are reused without an action.
-func buildObjects(p *Program, irKeys []string, irCache *buildsys.Cache, exec *buildsys.Executor, cached []*objfile.Object, optsFor func(m *ir.Module) codegen.Options) ([]*objfile.Object, *buildsys.ExecStats, error) {
+// Entries of cached that are non-nil are reused without an action; the
+// fetches batch (modeled remote-cache transfers that produced those
+// entries) is scheduled alongside. IR that only survives in the remote
+// cache tier charges its fetch latency to the codegen action reading it.
+func buildObjects(p *Program, irKeys []string, irCache *buildsys.Cache, exec *buildsys.Executor, cached []*objfile.Object, fetches []*buildsys.Action, optsFor func(m *ir.Module) codegen.Options) ([]*objfile.Object, *buildsys.ExecStats, error) {
 	results := make([]compiledObj, len(p.Modules))
 	var mu sync.Mutex
-	actions := make([]*buildsys.Action, 0, len(p.Modules))
+	actions := make([]*buildsys.Action, 0, len(p.Modules)+len(fetches))
+	actions = append(actions, fetches...)
 	for i := range p.Modules {
 		i := i
 		m := p.Modules[i]
@@ -204,14 +226,14 @@ func buildObjects(p *Program, irKeys []string, irCache *buildsys.Cache, exec *bu
 			results[i] = compiledObj{idx: i, obj: cached[i]}
 			continue
 		}
-		irData, ok := irCache.Get(irKeys[i])
+		irData, irFetch, ok := irCache.GetCost(irKeys[i])
 		if !ok {
 			return nil, nil, fmt.Errorf("core: IR cache miss for module %s", m.Name)
 		}
 		irBytes := int64(len(irData))
 		actions = append(actions, &buildsys.Action{
 			Name:     "codegen:" + m.Name,
-			Cost:     costCodegenBase + float64(irBytes)*costCodegenPerByte,
+			Cost:     costCodegenBase + float64(irBytes)*costCodegenPerByte + irFetch,
 			MemBytes: memCodegenBase + irBytes*memCodegenPerIRByte,
 			Run: func() error {
 				mod, err := ir.DecodeModule(irData)
@@ -288,21 +310,32 @@ func buildVariant(p *Program, opts Options, mode codegen.Mode, emitMap bool) (*B
 
 	// Warm-cache fast path (§2.1: >90% action cache hit rates): a module
 	// whose object for this configuration is already cached skips its
-	// codegen action entirely.
+	// codegen action entirely. Objects served by the remote cache tier
+	// are cheap but not free: each fetch is scheduled as a cost-only
+	// action so the transfer time lands in the phase's makespan.
 	cached := make([]*objfile.Object, len(p.Modules))
+	var fetches []*buildsys.Action
 	if opts.ObjCache != nil && emitMap {
 		for i := range p.Modules {
-			if data, ok := opts.ObjCache.Get(objCacheKey(keys[i])); ok {
-				obj, err := objfile.DecodeObject(data)
-				if err != nil {
-					return nil, fmt.Errorf("core: corrupt cached object for %s: %w", p.Modules[i].Name, err)
-				}
-				cached[i] = obj
+			data, fetchCost, ok := opts.ObjCache.GetCost(objCacheKey(keys[i]))
+			if !ok {
+				continue
+			}
+			obj, err := objfile.DecodeObject(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: corrupt cached object for %s: %w", p.Modules[i].Name, err)
+			}
+			cached[i] = obj
+			if fetchCost > 0 {
+				fetches = append(fetches, &buildsys.Action{
+					Name: "fetch:" + p.Modules[i].Name,
+					Cost: fetchCost,
+				})
 			}
 		}
 	}
 
-	objs, execStats, err := buildObjects(p, keys, irCache, exec, cached, func(m *ir.Module) codegen.Options {
+	objs, execStats, err := buildObjects(p, keys, irCache, exec, cached, fetches, func(m *ir.Module) codegen.Options {
 		return codegen.Options{
 			Mode:           mode,
 			DataInCode:     !opts.NoDataInCode,
@@ -403,7 +436,7 @@ func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildR
 		m := p.Modules[i]
 		if !hotModule[i] {
 			nCold++
-			data, ok := opts.ObjCache.Get(objCacheKey(irKeys[i]))
+			data, fetchCost, ok := opts.ObjCache.GetCost(objCacheKey(irKeys[i]))
 			if !ok {
 				return nil, 0, 0, fmt.Errorf("core: object cache miss for cold module %s", m.Name)
 			}
@@ -412,16 +445,25 @@ func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildR
 				return nil, 0, 0, err
 			}
 			objs[i] = obj
+			if fetchCost > 0 {
+				// Cold object served by the remote cache tier: schedule
+				// the modeled transfer so relinks stay cheap-but-not-free.
+				backendCost += fetchCost
+				actions = append(actions, &buildsys.Action{
+					Name: "fetch:" + m.Name,
+					Cost: fetchCost,
+				})
+			}
 			continue
 		}
 		nHot++
 		hotNames[m.Name] = true
-		irData, ok := opts.IRCache.Get(irKeys[i])
+		irData, irFetch, ok := opts.IRCache.GetCost(irKeys[i])
 		if !ok {
 			return nil, 0, 0, fmt.Errorf("core: IR cache miss for hot module %s", m.Name)
 		}
 		irBytes := int64(len(irData))
-		cost := costCodegenBase + float64(irBytes)*costCodegenPerByte
+		cost := costCodegenBase + float64(irBytes)*costCodegenPerByte + irFetch
 		backendCost += cost
 		actions = append(actions, &buildsys.Action{
 			Name:     "codegen-list:" + m.Name,

@@ -64,8 +64,7 @@ func TestOptimizeEndToEnd(t *testing.T) {
 		t.Error("no cold modules: cache reuse path untested")
 	}
 	// Cold objects must have come from the object cache.
-	hits, _, _, _ := opts.ObjCache.Stats()
-	if hits == 0 {
+	if st := opts.ObjCache.Stats(); st.Hits == 0 {
 		t.Error("no object cache hits during relink")
 	}
 

@@ -41,8 +41,7 @@ func TestIncrementalRebuildHitsCache(t *testing.T) {
 		t.Errorf("warm backends cost %.2f not below cold %.2f",
 			warm.Metadata.Backends, cold.Metadata.Backends)
 	}
-	hits, _, _, _ := opts.ObjCache.Stats()
-	if hits == 0 {
+	if st := opts.ObjCache.Stats(); st.Hits == 0 {
 		t.Error("no object cache hits on the warm build")
 	}
 	mRes := runBinary(t, warm.Optimized)

@@ -47,6 +47,14 @@ type Config struct {
 	// distributed fleet to the 72-core developer machine (used for the
 	// open-source and SPEC rows of §5).
 	Workstation bool
+
+	// IRCache and ObjCache, when non-nil, are the shared build caches
+	// every build in the run goes through — pass tiered caches
+	// (buildsys.NewTieredCache) to model the §2.1 shared fleet cache,
+	// including eviction pressure and remote-fetch latency. Nil means
+	// fresh unbounded per-pipeline caches (a cold standalone build).
+	IRCache  *buildsys.Cache
+	ObjCache *buildsys.Cache
 }
 
 func (c Config) trainInsts() uint64 {
@@ -118,6 +126,10 @@ type Result struct {
 
 	// Environment used for the modeled times.
 	Slots int
+
+	// ObjCacheStats snapshots the shared object cache after the run when
+	// Config.ObjCache was set (hit/eviction/remote-fetch economics).
+	ObjCacheStats buildsys.CacheStats
 }
 
 // RunWorkload executes the full protocol.
@@ -126,7 +138,12 @@ func RunWorkload(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := core.Options{HugePages: cfg.Spec.HugePages, InterProc: cfg.InterProc}
+	opts := core.Options{
+		HugePages: cfg.Spec.HugePages,
+		InterProc: cfg.InterProc,
+		IRCache:   cfg.IRCache,
+		ObjCache:  cfg.ObjCache,
+	}
 	if cfg.Workstation {
 		opts.Executor = buildsys.Workstation()
 	} else if cfg.Spec.Name == "superroot" {
@@ -216,6 +233,9 @@ func RunWorkload(cfg Config) (*Result, error) {
 		default:
 			res.BORun = run
 		}
+	}
+	if cfg.ObjCache != nil {
+		res.ObjCacheStats = cfg.ObjCache.Stats()
 	}
 	return res, nil
 }

@@ -31,7 +31,7 @@ func TestWarmCacheSkipsCodegen(t *testing.T) {
 	if cold.Metadata.Exec.Actions == 0 {
 		t.Fatal("cold build ran no codegen actions")
 	}
-	coldHits, _, _, _ := opts.ObjCache.Stats()
+	coldHits := opts.ObjCache.Stats().Hits
 
 	warm, err := core.Optimize(prog.Core, train, opts)
 	if err != nil {
@@ -40,7 +40,7 @@ func TestWarmCacheSkipsCodegen(t *testing.T) {
 	if warm.Metadata.Exec.Actions != 0 {
 		t.Errorf("warm build ran %d codegen actions, want 0 (all objects cached)", warm.Metadata.Exec.Actions)
 	}
-	warmHits, _, _, _ := opts.ObjCache.Stats()
+	warmHits := opts.ObjCache.Stats().Hits
 	if warmHits <= coldHits {
 		t.Errorf("warm build added no cache hits: %d -> %d", coldHits, warmHits)
 	}

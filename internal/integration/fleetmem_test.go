@@ -1,0 +1,87 @@
+// Integration coverage for fleet-wide memory admission (§2.1, Table 5):
+// the pool budget — not the slot count — decides how many ceiling-class
+// relink actions the fleet sustains at once.
+package integration_test
+
+import (
+	"testing"
+
+	"propeller/internal/buildsys"
+)
+
+func relinkClass(n int) []*buildsys.Action {
+	out := make([]*buildsys.Action, n)
+	for i := range out {
+		out[i] = &buildsys.Action{
+			Name:     "relink-shard",
+			Cost:     60,
+			MemBytes: buildsys.DistributedMemLimit,
+			Run:      func() error { return nil },
+		}
+	}
+	return out
+}
+
+func TestFleetPoolBoundsCeilingClassConcurrency(t *testing.T) {
+	// 64 actions at the 12GB per-action ceiling all pass admission, but
+	// the 256GB pool only holds floor(256/12) = 21 at once: the batch
+	// runs in four waves instead of one.
+	stats, err := buildsys.Distributed().Execute(relinkClass(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sustained := stats.PeakConcurrentMem / buildsys.DistributedMemLimit
+	if sustained != 21 {
+		t.Errorf("pool sustained %d ceiling-class actions, want 21", sustained)
+	}
+	if stats.PeakConcurrentMem > buildsys.DistributedPoolMem {
+		t.Errorf("peak concurrent memory %dGB exceeds the pool budget", stats.PeakConcurrentMem>>30)
+	}
+	if stats.Makespan != 4*60 {
+		t.Errorf("makespan = %v, want four 60s waves", stats.Makespan)
+	}
+	if stats.StallSeconds == 0 {
+		t.Error("no stall recorded despite pool pressure")
+	}
+
+	// The same batch on the workstation (no pool budget) runs wide open.
+	wide, err := buildsys.Workstation().Execute(relinkClass(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Makespan != 60 || wide.StallSeconds != 0 {
+		t.Errorf("workstation stats = %+v, want one unstalled wave", wide)
+	}
+	if wide.PeakConcurrentMem != 64*buildsys.DistributedMemLimit {
+		t.Errorf("workstation peak = %dGB, want all 64 actions resident", wide.PeakConcurrentMem>>30)
+	}
+}
+
+func TestFleetPoolTransparentForOrdinaryActions(t *testing.T) {
+	// Ordinary codegen-class actions (hundreds of MB) never feel the
+	// pool: 64 slots of them fit far under 256GB, so the pooled fleet
+	// and an unpooled one model identical makespans.
+	mk := func() []*buildsys.Action {
+		out := make([]*buildsys.Action, 200)
+		for i := range out {
+			out[i] = &buildsys.Action{
+				Name:     "codegen",
+				Cost:     0.5 + float64(i%7)*0.2,
+				MemBytes: (200 + int64(i%13)*40) << 20,
+			}
+		}
+		return out
+	}
+	pooled, err := buildsys.Distributed().Execute(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := &buildsys.Executor{Slots: buildsys.DistributedSlots, MemLimit: buildsys.DistributedMemLimit}
+	unpooled, err := free.Execute(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Makespan != unpooled.Makespan || pooled.StallSeconds != 0 {
+		t.Errorf("pool budget distorted an ordinary batch: pooled %+v vs unpooled %+v", pooled, unpooled)
+	}
+}
