@@ -583,10 +583,18 @@ func Optimize(p *Program, train RunSpec, opts Options) (*Result, error) {
 		Makespan:  meta.Exec.Makespan + meta.Linking,
 		PeakMem:   maxI64(meta.Exec.PeakActionMem, meta.Link.PeakMemory),
 	}
+	// Sharded aggregation divides the modeled analysis makespan by the
+	// worker count (total cost is unchanged). Only an explicit Workers
+	// setting scales the model: the default (0 = GOMAXPROCS) would make
+	// the modeled Table-5 numbers depend on the reporting machine.
+	wpaSpan := float64(wres.Stats.Records) * costWPAPerRecord
+	if w := opts.WPA.Workers; w > 1 {
+		wpaSpan /= float64(w)
+	}
 	out.Phase3 = PhaseStats{
 		Actions:   1,
 		TotalCost: float64(wres.Stats.Records) * costWPAPerRecord,
-		Makespan:  float64(wres.Stats.Records) * costWPAPerRecord,
+		Makespan:  wpaSpan,
 		PeakMem:   wres.Stats.ModeledBytes,
 	}
 	out.Phase4 = PhaseStats{

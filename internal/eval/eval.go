@@ -37,6 +37,10 @@ type Config struct {
 	// InterProc switches Propeller to §4.7 inter-procedural layout.
 	InterProc bool
 
+	// WPAWorkers bounds the parallelism of the whole-program analysis
+	// (wpa.Config.Workers): 0 = GOMAXPROCS, 1 = serial.
+	WPAWorkers int
+
 	// Heatmaps records Fig-7 instruction-access maps for the three
 	// binaries (rows x cols).
 	Heatmaps bool
@@ -144,6 +148,7 @@ func RunWorkload(cfg Config) (*Result, error) {
 		IRCache:   cfg.IRCache,
 		ObjCache:  cfg.ObjCache,
 	}
+	opts.WPA.Workers = cfg.WPAWorkers
 	if cfg.Workstation {
 		opts.Executor = buildsys.Workstation()
 	} else if cfg.Spec.Name == "superroot" {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"propeller/internal/memmodel"
 	"propeller/internal/objfile"
@@ -193,6 +194,22 @@ func (r *Report) Fig9(w io.Writer) {
 	}
 }
 
+// WPAPhases prints the measured per-phase wall-time breakdown of the
+// whole-program analysis (§4.7 / Table 4's analysis-time axis):
+// aggregation over LBR samples, the deterministic shard merge, and the
+// Ext-TSP layout, at the worker count the analysis ran with.
+func (r *Report) WPAPhases(w io.Writer) {
+	r.line(w, "WPA analysis wall time by phase (measured, §4.7 parallel analysis)")
+	r.line(w, "%-16s %7s %12s %10s %10s %10s", "Benchmark", "Workers", "Aggregate", "Merge", "Layout", "Total")
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	for _, res := range r.Results {
+		st := res.WPAStats
+		r.line(w, "%-16s %7d %10.2fms %8.2fms %8.2fms %8.2fms",
+			res.Spec.Name, st.Workers, ms(st.AggregateWall), ms(st.MergeWall), ms(st.LayoutWall),
+			st.AnalysisSeconds*1e3)
+	}
+}
+
 // Fig7 renders the instruction-access heat maps.
 func (r *Report) Fig7(w io.Writer) {
 	for _, res := range r.Results {
@@ -234,7 +251,7 @@ func (r *Report) SPECTable(w io.Writer) {
 // All renders every table and figure.
 func (r *Report) All(w io.Writer) {
 	sections := []func(io.Writer){
-		r.Table2, r.Fig4, r.Fig5, r.Fig6, r.Table3, r.Fig8, r.Table5, r.Fig9, r.SPECTable,
+		r.Table2, r.Fig4, r.Fig5, r.Fig6, r.Table3, r.Fig8, r.Table5, r.Fig9, r.WPAPhases, r.SPECTable,
 	}
 	for i, s := range sections {
 		if i > 0 {

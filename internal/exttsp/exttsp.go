@@ -13,6 +13,10 @@
 //   - heap: a priority queue with lazy invalidation, the "logarithmic time
 //     retrieval of the most profitable action" improvement §4.7 describes
 //     as necessary at warehouse scale.
+//
+// Both strategies evaluate the same candidate set with the same
+// tie-breaking and produce identical layouts; only the retrieval cost
+// differs, which is what the ablation benchmark measures.
 package exttsp
 
 import (
@@ -93,23 +97,52 @@ func edgeGain(weight uint64, srcEnd, dstStart int64) float64 {
 	return 0
 }
 
+// Scratch holds reusable buffers for repeated Score evaluations, so hot
+// scoring loops (benchmarks, equivalence checks) stop allocating per call.
+// The zero value is ready to use; a Scratch must not be shared between
+// goroutines.
+type Scratch struct {
+	offset []int64
+	gen    []int64
+	epoch  int64
+}
+
+func (s *Scratch) grow(n int) {
+	if len(s.offset) < n {
+		s.offset = make([]int64, n)
+		s.gen = make([]int64, n)
+		s.epoch = 0
+	}
+}
+
 // Score evaluates the Ext-TSP objective of a complete order (a permutation
 // of node indices).
 func Score(g *Graph, order []int) float64 {
-	offset := make([]int64, len(g.Nodes))
+	return ScoreWith(g, order, nil)
+}
+
+// ScoreWith is Score with caller-provided scratch buffers; nil scratch
+// allocates fresh ones. Reusing one Scratch across calls keeps repeated
+// scoring allocation-free.
+func ScoreWith(g *Graph, order []int, s *Scratch) float64 {
+	if s == nil {
+		s = &Scratch{}
+	}
+	s.grow(len(g.Nodes))
+	s.epoch++
+	ep := s.epoch
 	addr := int64(0)
-	seen := make([]bool, len(g.Nodes))
 	for _, n := range order {
-		offset[n] = addr
+		s.offset[n] = addr
+		s.gen[n] = ep
 		addr += g.Nodes[n].Size
-		seen[n] = true
 	}
 	var total float64
 	for _, e := range g.Edges {
-		if !seen[e.Src] || !seen[e.Dst] {
+		if s.gen[e.Src] != ep || s.gen[e.Dst] != ep {
 			continue
 		}
-		total += edgeGain(e.Weight, offset[e.Src]+g.Nodes[e.Src].Size, offset[e.Dst])
+		total += edgeGain(e.Weight, s.offset[e.Src]+g.Nodes[e.Src].Size, s.offset[e.Dst])
 	}
 	return total
 }
@@ -120,6 +153,10 @@ type chain struct {
 	nodes []int
 	size  int64
 	count uint64
+	// score caches chainScore(nodes): a chain's internal score only
+	// changes when the chain itself is rewritten by a merge, so bestMerge
+	// never has to rescan the chain to price a candidate.
+	score float64
 	gen   int  // incremented on every mutation (heap invalidation)
 	dead  bool // merged away
 	// inEdges/outEdges index g.Edges with an endpoint in this chain; they
@@ -158,6 +195,16 @@ type state struct {
 	// (recomputed from edges on demand via nodeEdges)
 	nodeOut [][]int // node -> indices into g.Edges with Src == node
 	nodeIn  [][]int // node -> indices into g.Edges with Dst == node
+
+	// Reusable scratch indexed by node/chain id, replacing the per-call
+	// map allocations of chainScore and neighbors. Entries are valid only
+	// when their generation stamp matches the current epoch, so nothing
+	// is ever cleared.
+	pos    []int64 // node -> layout offset within the scored sequence
+	posGen []int64 // node -> epoch stamp for pos
+	nbGen  []int64 // chain id -> epoch stamp for neighbor dedup
+	epoch  int64
+	nbBuf  []int // reused neighbor id buffer (invalidated by next call)
 }
 
 func newState(g *Graph, opts Options) *state {
@@ -177,30 +224,38 @@ func newState(g *Graph, opts Options) *state {
 		st.nodeOut[e.Src] = append(st.nodeOut[e.Src], ei)
 		st.nodeIn[e.Dst] = append(st.nodeIn[e.Dst], ei)
 	}
+	st.pos = make([]int64, len(g.Nodes))
+	st.posGen = make([]int64, len(g.Nodes))
+	st.nbGen = make([]int64, len(g.Nodes))
 	return st
 }
 
-// neighbors returns the live chain ids connected to chain c.
+// neighbors returns the live chain ids connected to chain c, ascending.
+// The returned slice is scratch owned by st and is overwritten by the
+// next neighbors call.
 func (st *state) neighbors(c *chain) []int {
-	seen := map[int]bool{c.id: true}
-	var out []int
+	st.epoch++
+	ep := st.epoch
+	st.nbGen[c.id] = ep
+	out := st.nbBuf[:0]
 	for _, node := range c.nodes {
 		for _, ei := range st.nodeOut[node] {
 			o := st.owner[st.g.Edges[ei].Dst]
-			if !seen[o] {
-				seen[o] = true
+			if st.nbGen[o] != ep {
+				st.nbGen[o] = ep
 				out = append(out, o)
 			}
 		}
 		for _, ei := range st.nodeIn[node] {
 			o := st.owner[st.g.Edges[ei].Src]
-			if !seen[o] {
-				seen[o] = true
+			if st.nbGen[o] != ep {
+				st.nbGen[o] = ep
 				out = append(out, o)
 			}
 		}
 	}
 	sort.Ints(out)
+	st.nbBuf = out
 	return out
 }
 
@@ -212,21 +267,22 @@ func (st *state) chainScore(nodes []int) float64 {
 		// internal placement freedom.
 		return 0
 	}
-	pos := make(map[int]int64, len(nodes))
+	st.epoch++
+	ep := st.epoch
 	addr := int64(0)
 	for _, nd := range nodes {
-		pos[nd] = addr
+		st.pos[nd] = addr
+		st.posGen[nd] = ep
 		addr += st.g.Nodes[nd].Size
 	}
 	var total float64
 	for _, nd := range nodes {
 		for _, ei := range st.nodeOut[nd] {
 			e := st.g.Edges[ei]
-			dp, ok := pos[e.Dst]
-			if !ok {
+			if st.posGen[e.Dst] != ep {
 				continue
 			}
-			total += edgeGain(e.Weight, pos[e.Src]+st.g.Nodes[e.Src].Size, dp)
+			total += edgeGain(e.Weight, st.pos[e.Src]+st.g.Nodes[e.Src].Size, st.pos[e.Dst])
 		}
 	}
 	return total
@@ -235,7 +291,8 @@ func (st *state) chainScore(nodes []int) float64 {
 // mergeCandidate is one way of combining chains x and y.
 type mergeCandidate struct {
 	gain  float64
-	x, y  int // chain ids
+	score float64 // chainScore of order (becomes the merged chain's cache)
+	x, y  int     // chain ids
 	xGen  int
 	yGen  int
 	order []int // resulting node sequence
@@ -243,9 +300,12 @@ type mergeCandidate struct {
 
 // bestMerge finds the highest-gain combination of two chains, honoring the
 // forced-first constraint. Returns ok=false when no combination is legal.
+// Both retrieval strategies call it with x.id < y.id, so the explored
+// candidate set — and therefore the final layout — is identical for the
+// naive and heap variants.
 func (st *state) bestMerge(x, y *chain) (mergeCandidate, bool) {
-	baseX := st.chainScore(x.nodes)
-	baseY := st.chainScore(y.nodes)
+	baseX := x.score
+	baseY := y.score
 	forced := st.opts.ForcedFirst
 
 	legal := func(seq []int) bool {
@@ -264,9 +324,11 @@ func (st *state) bestMerge(x, y *chain) (mergeCandidate, bool) {
 		if !legal(seq) {
 			return
 		}
-		gain := st.chainScore(seq) - baseX - baseY
+		score := st.chainScore(seq)
+		gain := score - baseX - baseY
 		if gain > best.gain {
 			best.gain = gain
+			best.score = score
 			best.order = seq
 		}
 	}
@@ -300,6 +362,7 @@ func (st *state) applyMerge(c mergeCandidate) {
 	x.nodes = c.order
 	x.size += y.size
 	x.count += y.count
+	x.score = c.score
 	x.gen++
 	y.dead = true
 	y.gen++
@@ -341,12 +404,24 @@ func (st *state) runNaive() {
 }
 
 // candidateHeap is a max-heap of merge candidates with lazy invalidation.
+// Ties on gain break toward the lexicographically smallest (x, y) pair —
+// exactly the pair the naive scan (ascending x, then ascending neighbor)
+// would have committed to — so heap retrieval replays the naive merge
+// sequence and the two strategies produce identical layouts.
 type candidateHeap []mergeCandidate
 
-func (h candidateHeap) Len() int           { return len(h) }
-func (h candidateHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
-func (h candidateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x any)        { *h = append(*h, x.(mergeCandidate)) }
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	if h[i].x != h[j].x {
+		return h[i].x < h[j].x
+	}
+	return h[i].y < h[j].y
+}
+func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(mergeCandidate)) }
 func (h *candidateHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -380,7 +455,14 @@ func (st *state) runHeap() {
 		st.applyMerge(c)
 		for _, nid := range st.neighbors(x) {
 			nb := st.chains[nid]
-			if !nb.dead {
+			if nb.dead {
+				continue
+			}
+			// Keep pairs in (lower id, higher id) order so the cached
+			// candidate is the same one the naive rescan evaluates.
+			if nb.id < x.id {
+				push(nb, x)
+			} else {
 				push(x, nb)
 			}
 		}

@@ -1,0 +1,197 @@
+package wpa
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/layoutfile"
+	"propeller/internal/profile"
+)
+
+// randMap builds a synthetic BB address map with nf functions of 2-9
+// 16-byte blocks each, functions at base+f*0x1000.
+func randMap(rng *rand.Rand, nf int) *bbaddrmap.Map {
+	m := &bbaddrmap.Map{}
+	for f := 0; f < nf; f++ {
+		fe := bbaddrmap.FuncEntry{Name: fnName(f), Addr: uint64(0x1000 * (f + 1))}
+		nb := 2 + rng.Intn(8)
+		for b := 0; b < nb; b++ {
+			fe.Blocks = append(fe.Blocks, bbaddrmap.BlockEntry{ID: b, Offset: uint64(16 * b), Size: 16})
+		}
+		m.Funcs = append(m.Funcs, fe)
+	}
+	return m
+}
+
+func fnName(f int) string {
+	return "fn" + string(rune('A'+f%26)) + string(rune('a'+(f/26)%26))
+}
+
+// randProfile emits samples whose records resolve against randMap's
+// layout: intra-function back/forward branches from block terminator
+// regions, cross-function calls into entries, and fall-through ranges
+// (consecutive records with next.From >= r.To).
+func randProfile(rng *rand.Rand, m *bbaddrmap.Map, samples int) *profile.Profile {
+	p := &profile.Profile{Binary: "rand", Period: 1000}
+	blockStart := func(f, b int) uint64 { return m.Funcs[f].Addr + uint64(16*b) }
+	blockBranch := func(f, b int) uint64 { return blockStart(f, b) + 16 - 1 - uint64(rng.Intn(9)) }
+	for i := 0; i < samples; i++ {
+		var s profile.Sample
+		f := rng.Intn(len(m.Funcs))
+		nrec := 1 + rng.Intn(profile.LBRDepth/2)
+		for j := 0; j < nrec; j++ {
+			nb := len(m.Funcs[f].Blocks)
+			src := rng.Intn(nb)
+			switch rng.Intn(4) {
+			case 0: // call into another function's entry
+				callee := rng.Intn(len(m.Funcs))
+				s.Records = append(s.Records, profile.Branch{From: blockBranch(f, src), To: blockStart(callee, 0)})
+				f = callee
+			case 1: // unresolvable noise (gap between functions)
+				s.Records = append(s.Records, profile.Branch{From: blockBranch(f, src) + 0x800, To: blockStart(f, 0) + 7})
+			default: // intra-function branch to a random block start
+				dst := rng.Intn(nb)
+				s.Records = append(s.Records, profile.Branch{From: blockBranch(f, src), To: blockStart(f, dst)})
+				// Sometimes follow with a fall-through range inside f.
+				if dst+1 < nb && rng.Intn(2) == 0 {
+					j++
+					fallEnd := dst + 1 + rng.Intn(nb-dst-1)
+					s.Records = append(s.Records, profile.Branch{From: blockBranch(f, fallEnd), To: blockStart(f, rng.Intn(nb))})
+				}
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p
+}
+
+// renderResult serializes both Phase-4 artifacts, the byte-level outputs
+// Phase 4 actually consumes.
+func renderResult(t *testing.T, res *Result) (ccProf, ldProf []byte) {
+	t.Helper()
+	var cc, ld bytes.Buffer
+	if err := layoutfile.WriteDirectives(&cc, res.Directives); err != nil {
+		t.Fatal(err)
+	}
+	if err := layoutfile.WriteOrder(&ld, res.Order); err != nil {
+		t.Fatal(err)
+	}
+	return cc.Bytes(), ld.Bytes()
+}
+
+// statsComparable strips the measured wall times, which legitimately vary
+// between runs; everything else must match exactly.
+func statsComparable(st Stats) Stats {
+	st.Workers = 0
+	st.AggregateWall = 0
+	st.MergeWall = 0
+	st.LayoutWall = 0
+	st.AnalysisSeconds = 0
+	return st
+}
+
+// TestParallelAnalyzeBitIdentical is the determinism property test: for
+// randomized profiles, Workers = 2, 4, 8 must produce byte-identical
+// cc_prof.txt / ld_prof.txt artifacts (and equal aggregation stats) to
+// Workers = 1. Run with -race to exercise the sharded aggregation and
+// the layout worker pool.
+func TestParallelAnalyzeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8131))
+	for trial := 0; trial < 6; trial++ {
+		m := randMap(rng, 3+rng.Intn(20))
+		prof := randProfile(rng, m, 5+rng.Intn(400))
+		for _, interProc := range []bool{false, true} {
+			serial, err := Analyze(m, prof, Config{Workers: 1, InterProc: interProc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCC, wantLD := renderResult(t, serial)
+			for _, w := range []int{2, 4, 8} {
+				par, err := Analyze(m, prof, Config{Workers: w, InterProc: interProc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotCC, gotLD := renderResult(t, par)
+				if !bytes.Equal(gotCC, wantCC) {
+					t.Fatalf("trial %d interproc=%v workers=%d: cc_prof.txt differs from serial\nserial:\n%s\nparallel:\n%s",
+						trial, interProc, w, wantCC, gotCC)
+				}
+				if !bytes.Equal(gotLD, wantLD) {
+					t.Fatalf("trial %d interproc=%v workers=%d: ld_prof.txt differs from serial\nserial:\n%s\nparallel:\n%s",
+						trial, interProc, w, wantLD, gotLD)
+				}
+				if got, want := statsComparable(par.Stats), statsComparable(serial.Stats); !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d interproc=%v workers=%d: stats diverged\nserial   %+v\nparallel %+v",
+						trial, interProc, w, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAnalyzeStreamBitIdentical covers the chunked-reading path:
+// the batched fan-out over shard workers must match both the serial
+// stream and the in-memory parallel analysis byte for byte.
+func TestParallelAnalyzeStreamBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	m := randMap(rng, 12)
+	// Enough samples to span several 512-sample stream batches.
+	prof := randProfile(rng, m, 1700)
+	var raw bytes.Buffer
+	if err := prof.Write(&raw); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := AnalyzeStream(m, bytes.NewReader(raw.Bytes()), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC, wantLD := renderResult(t, serial)
+	for _, w := range []int{2, 4, 8} {
+		par, err := AnalyzeStream(m, bytes.NewReader(raw.Bytes()), Config{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCC, gotLD := renderResult(t, par)
+		if !bytes.Equal(gotCC, wantCC) || !bytes.Equal(gotLD, wantLD) {
+			t.Fatalf("workers=%d: streamed artifacts differ from serial stream", w)
+		}
+		if got, want := statsComparable(par.Stats), statsComparable(serial.Stats); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: stream stats diverged\nserial   %+v\nparallel %+v", w, want, got)
+		}
+	}
+	inMem, err := Analyze(m, prof, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memCC, memLD := renderResult(t, inMem)
+	if !bytes.Equal(memCC, wantCC) || !bytes.Equal(memLD, wantLD) {
+		t.Fatal("parallel in-memory analysis differs from streamed analysis")
+	}
+}
+
+// TestWorkersDefaultAndStats checks the Workers plumbing: 0 resolves to a
+// positive effective count, and the per-phase breakdown sums into
+// AnalysisSeconds.
+func TestWorkersDefaultAndStats(t *testing.T) {
+	res, err := Analyze(synthMap(), synthProfile(50), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Workers < 1 {
+		t.Errorf("effective workers = %d, want >= 1", res.Stats.Workers)
+	}
+	want := (res.Stats.AggregateWall + res.Stats.MergeWall + res.Stats.LayoutWall).Seconds()
+	if res.Stats.AnalysisSeconds != want {
+		t.Errorf("AnalysisSeconds = %v, want %v", res.Stats.AnalysisSeconds, want)
+	}
+	res8, err := Analyze(synthMap(), synthProfile(50), Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.Stats.Workers != 8 {
+		t.Errorf("effective workers = %d, want 8", res8.Stats.Workers)
+	}
+}

@@ -11,7 +11,10 @@ package wpa
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"propeller/internal/bbaddrmap"
@@ -39,6 +42,22 @@ type Config struct {
 	// MaxClusterSize is the hfsort cluster budget for the global function
 	// order (default: one 2M page).
 	MaxClusterSize int64
+
+	// Workers bounds the parallelism of sample aggregation and
+	// intra-function layout (§4.7: profile parsing and layout are
+	// parallelized so whole-program analysis finishes in minutes at
+	// warehouse scale). 0 means GOMAXPROCS; 1 forces the serial path.
+	// The result is bit-identical at every worker count: shard counts
+	// are commutative uint64 sums and layout results are committed in
+	// sorted function-name order.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) hotThreshold() uint64 {
@@ -66,10 +85,21 @@ type Stats struct {
 	// to exactly these two).
 	ModeledBytes int64
 
-	// LayoutWall is the measured wall time of the Ext-TSP layout step
-	// alone (record processing excluded) — the quantity the §4.7
-	// intra-vs-inter 3-10x comparison is about.
-	LayoutWall time.Duration
+	// Workers is the number of workers the analysis actually used.
+	Workers int
+
+	// Per-phase wall-time breakdown (the Table-4 analysis-time axis):
+	// AggregateWall covers sample aggregation (sharded when Workers > 1),
+	// MergeWall the deterministic shard merge (zero on the serial path),
+	// and LayoutWall the Ext-TSP layout step alone — the quantity the
+	// §4.7 intra-vs-inter 3-10x comparison is about.
+	AggregateWall time.Duration
+	MergeWall     time.Duration
+	LayoutWall    time.Duration
+
+	// AnalysisSeconds is the total measured analysis wall time
+	// (aggregate + merge + layout).
+	AnalysisSeconds float64
 }
 
 // Result is the analyzer output.
@@ -147,6 +177,40 @@ func newAnalyzer(m *bbaddrmap.Map) (*analyzer, error) {
 		}
 	}
 	return a, nil
+}
+
+// newShard clones the analyzer's read-only views (lookup, infos) with
+// private aggregation maps, so one worker can fold its sample partition
+// without synchronization.
+func (a *analyzer) newShard() *analyzer {
+	return &analyzer{
+		lookup:    a.lookup,
+		infos:     a.infos,
+		graphs:    map[string]*dcfg{},
+		callEdges: map[callKey]uint64{},
+	}
+}
+
+// absorb folds a shard's private aggregation into the analyzer. All
+// contributions are commutative uint64 sums, so the merged result is
+// identical no matter how samples were partitioned across shards.
+func (a *analyzer) absorb(sh *analyzer) {
+	a.st.Samples += sh.st.Samples
+	a.st.Records += sh.st.Records
+	a.st.BranchEdges += sh.st.BranchEdges
+	a.st.CallEdges += sh.st.CallEdges
+	for fn, g := range sh.graphs {
+		dst := a.getDCFG(fn)
+		for id, c := range g.counts {
+			dst.counts[id] += c
+		}
+		for k, w := range g.edges {
+			dst.edges[k] += w
+		}
+	}
+	for k, w := range sh.callEdges {
+		a.callEdges[k] += w
+	}
 }
 
 func (a *analyzer) getDCFG(fn string) *dcfg {
@@ -233,36 +297,139 @@ func (a *analyzer) finish(cfg Config, profileBytes int64) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.LayoutWall = time.Since(layoutStart)
+	res.Stats.AnalysisSeconds = (res.Stats.AggregateWall + res.Stats.MergeWall + res.Stats.LayoutWall).Seconds()
 	res.Stats.HotFuncs = len(res.Directives)
 	return res, nil
 }
 
 // Analyze runs the whole-program analysis over an in-memory profile.
+// With cfg.Workers != 1 the samples are partitioned into contiguous
+// chunks aggregated by private shards, then merged deterministically;
+// the output is bit-identical to the serial path.
 func Analyze(m *bbaddrmap.Map, prof *profile.Profile, cfg Config) (*Result, error) {
 	a, err := newAnalyzer(m)
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range prof.Samples {
-		a.addSample(s)
+	w := cfg.workers()
+	if w > len(prof.Samples) {
+		w = len(prof.Samples)
 	}
+	if w < 1 {
+		w = 1
+	}
+	aggStart := time.Now()
+	if w == 1 {
+		for _, s := range prof.Samples {
+			a.addSample(s)
+		}
+		a.st.AggregateWall = time.Since(aggStart)
+	} else {
+		shards := make([]*analyzer, w)
+		chunk := (len(prof.Samples) + w - 1) / w
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			lo := i * chunk
+			hi := lo + chunk
+			if hi > len(prof.Samples) {
+				hi = len(prof.Samples)
+			}
+			if lo > hi {
+				lo = hi
+			}
+			sh := a.newShard()
+			shards[i] = sh
+			wg.Add(1)
+			go func(sh *analyzer, samples []profile.Sample) {
+				defer wg.Done()
+				for _, s := range samples {
+					sh.addSample(s)
+				}
+			}(sh, prof.Samples[lo:hi])
+		}
+		wg.Wait()
+		a.st.AggregateWall = time.Since(aggStart)
+		mergeStart := time.Now()
+		for _, sh := range shards {
+			a.absorb(sh)
+		}
+		a.st.MergeWall = time.Since(mergeStart)
+	}
+	a.st.Workers = w
 	return a.finish(cfg, prof.SizeBytes())
 }
 
 // AnalyzeStream runs the whole-program analysis over a serialized profile
 // without materializing it (§5.1's chunked reading): peak memory becomes
-// the DCFG alone plus a single-sample buffer.
+// the DCFG alone plus small sample batches. With cfg.Workers != 1 the
+// decoded samples are batched and fanned out to private shards that are
+// merged deterministically, so the result stays bit-identical to serial.
 func AnalyzeStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Result, error) {
 	a, err := newAnalyzer(m)
 	if err != nil {
 		return nil, err
 	}
-	if _, _, _, err := profile.Stream(r, func(s profile.Sample) error {
-		a.addSample(s)
-		return nil
-	}); err != nil {
-		return nil, fmt.Errorf("wpa: streaming profile: %w", err)
+	w := cfg.workers()
+	if w < 1 {
+		w = 1
 	}
+	aggStart := time.Now()
+	if w == 1 {
+		if _, _, _, err := profile.Stream(r, func(s profile.Sample) error {
+			a.addSample(s)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("wpa: streaming profile: %w", err)
+		}
+		a.st.AggregateWall = time.Since(aggStart)
+	} else {
+		// streamBatch samples per channel send amortizes the hand-off;
+		// the decoder's record buffer is reused across callbacks, so each
+		// sample's records must be copied before crossing the channel.
+		const streamBatch = 512
+		ch := make(chan []profile.Sample, w)
+		shards := make([]*analyzer, w)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			sh := a.newShard()
+			shards[i] = sh
+			wg.Add(1)
+			go func(sh *analyzer) {
+				defer wg.Done()
+				for batch := range ch {
+					for _, s := range batch {
+						sh.addSample(s)
+					}
+				}
+			}(sh)
+		}
+		batch := make([]profile.Sample, 0, streamBatch)
+		_, _, _, serr := profile.Stream(r, func(s profile.Sample) error {
+			recs := make([]profile.Branch, len(s.Records))
+			copy(recs, s.Records)
+			batch = append(batch, profile.Sample{Records: recs})
+			if len(batch) == streamBatch {
+				ch <- batch
+				batch = make([]profile.Sample, 0, streamBatch)
+			}
+			return nil
+		})
+		if len(batch) > 0 {
+			ch <- batch
+		}
+		close(ch)
+		wg.Wait()
+		if serr != nil {
+			return nil, fmt.Errorf("wpa: streaming profile: %w", serr)
+		}
+		a.st.AggregateWall = time.Since(aggStart)
+		mergeStart := time.Now()
+		for _, sh := range shards {
+			a.absorb(sh)
+		}
+		a.st.MergeWall = time.Since(mergeStart)
+	}
+	a.st.Workers = w
 	const sampleBuf = 2 + profile.LBRDepth*16
 	return a.finish(cfg, sampleBuf)
 }
@@ -332,46 +499,99 @@ func sortedFuncNames(graphs map[string]*dcfg) []string {
 	return names
 }
 
+// intraOut is one function's layout result, produced by a pool worker and
+// committed by the caller in sorted-name order.
+type intraOut struct {
+	cluster []int
+	samples uint64
+	skip    bool
+	err     error
+}
+
+// layoutOneIntra lays out a single function's hot blocks. It only reads
+// the shared DCFG maps, so any number of calls may run concurrently.
+func layoutOneIntra(g *dcfg, cfg Config) intraOut {
+	if g.info == nil || g.info.entryID < 0 {
+		return intraOut{skip: true}
+	}
+	ids := g.hotBlocks(cfg.hotThreshold())
+	if len(ids) == 0 {
+		return intraOut{skip: true}
+	}
+	eg, _ := g.buildGraph(ids)
+	entryIdx := -1
+	for i, id := range ids {
+		if id == g.info.entryID {
+			entryIdx = i
+		}
+	}
+	order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: entryIdx, UseHeap: !cfg.NaiveExtTSP})
+	if err != nil {
+		return intraOut{err: err}
+	}
+	cluster := make([]int, len(order))
+	for i, oi := range order {
+		cluster[i] = ids[oi]
+	}
+	var samples uint64
+	for _, c := range g.counts {
+		samples += c
+	}
+	return intraOut{cluster: cluster, samples: samples}
+}
+
 // layoutIntra produces one hot cluster per function (intra-function
 // layout, the configuration evaluated throughout §5) and a global function
-// order via call-chain clustering.
+// order via call-chain clustering. The per-function Ext-TSP runs are
+// embarrassingly parallel and fan out over a bounded worker pool; results
+// are committed in sorted-name order, so the output — including which
+// error surfaces when several functions fail — is independent of the
+// worker count.
 func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInfo, callEdges map[callKey]uint64, cfg Config) error {
 	names := sortedFuncNames(graphs)
+	outs := make([]intraOut, len(names))
+	w := cfg.workers()
+	if w > len(names) {
+		w = len(names)
+	}
+	if w <= 1 {
+		for i, fn := range names {
+			outs[i] = layoutOneIntra(graphs[fn], cfg)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(names) {
+						return
+					}
+					outs[i] = layoutOneIntra(graphs[names[i]], cfg)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	type hotFunc struct {
 		name    string
 		samples uint64
 	}
 	var hot []hotFunc
-	for _, fn := range names {
-		g := graphs[fn]
-		if g.info == nil || g.info.entryID < 0 {
+	for i, fn := range names {
+		o := outs[i]
+		if o.err != nil {
+			return fmt.Errorf("wpa: %s: %w", fn, o.err)
+		}
+		if o.skip {
 			continue
 		}
-		ids := g.hotBlocks(cfg.hotThreshold())
-		if len(ids) == 0 {
-			continue
-		}
-		eg, _ := g.buildGraph(ids)
-		entryIdx := -1
-		for i, id := range ids {
-			if id == g.info.entryID {
-				entryIdx = i
-			}
-		}
-		order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: entryIdx, UseHeap: !cfg.NaiveExtTSP})
-		if err != nil {
-			return fmt.Errorf("wpa: %s: %w", fn, err)
-		}
-		cluster := make([]int, len(order))
-		for i, oi := range order {
-			cluster[i] = ids[oi]
-		}
-		res.Directives[fn] = layoutfile.ClusterSpec{Clusters: [][]int{cluster}}
-		var samples uint64
-		for _, c := range g.counts {
-			samples += c
-		}
-		hot = append(hot, hotFunc{name: fn, samples: samples})
+		res.Directives[fn] = layoutfile.ClusterSpec{Clusters: [][]int{o.cluster}}
+		hot = append(hot, hotFunc{name: fn, samples: o.samples})
 	}
 
 	// Global function order: C3 over the hot functions.
