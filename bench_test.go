@@ -415,8 +415,14 @@ func BenchmarkSlotSweep(b *testing.B) {
 // wpaScalingRecord is one point of the BENCH_wpa.json curve.
 type wpaScalingRecord struct {
 	Workload  string `json:"workload"`
+	Mode      string `json:"mode"`      // "intra" or "interproc"
 	Retrieval string `json:"retrieval"` // "heap" or "naive"
 	Workers   int    `json:"workers"`
+
+	// LayoutShards is the number of independent layout units the run
+	// partitioned into (hot functions for intra, hot-graph components
+	// for interproc); it bounds the layout arm's achievable parallelism.
+	LayoutShards int `json:"layoutShards"`
 
 	// Modeled analysis time on a machine with `workers` cores:
 	// aggregation divides the per-record cost across shards; layout is
@@ -479,14 +485,38 @@ func wpaLayoutActions(res *wpa.Result, naive bool) []*buildsys.Action {
 	return acts
 }
 
+// interProcShardActions models the §4.7 global Ext-TSP run as one action
+// per component shard of the hot-block graph (the partition the parallel
+// layoutInterProc fans out), using the same heap-retrieval cost formula
+// as wpaLayoutActions. Shard node counts come from wpa.Stats, which
+// reports them identically at every worker count.
+func interProcShardActions(st wpa.Stats) []*buildsys.Action {
+	const (
+		costBuild = 1e-7
+		costEval  = 2e-7
+	)
+	acts := make([]*buildsys.Action, 0, len(st.LayoutShardNodes))
+	for i, v := range st.LayoutShardNodes {
+		if v == 0 {
+			continue
+		}
+		e := float64(2 * v)
+		cost := costBuild*e + costEval*e*float64(v)*math.Log2(float64(v)+2)
+		acts = append(acts, &buildsys.Action{Name: fmt.Sprintf("shard:%d", i), Cost: cost})
+	}
+	return acts
+}
+
 // BenchmarkWPAScaling reproduces the paper's Table-4 analysis-time axis:
 // wpa.Analyze swept over worker counts 1–16 and the naive-vs-heap Ext-TSP
 // retrieval ablation, for every catalog workload, reusing the shared
-// sweep's metadata binaries and LBR profiles. It writes the full curve to
-// BENCH_wpa.json (the CI bench-smoke artifact) and fails if any modeled
-// curve is not monotone non-increasing in workers, if the heap retrieval
-// does not beat naive at every worker count, or if the parallel analysis
-// is not bit-identical to serial.
+// sweep's metadata binaries and LBR profiles. A second arm sweeps the
+// §4.7 inter-procedural mode, whose layout parallelism is bounded by the
+// hot-graph component shards. It writes the full curve to BENCH_wpa.json
+// (the CI bench-smoke artifact) and fails if any modeled curve is not
+// monotone non-increasing in workers, if the heap retrieval does not beat
+// naive at every worker count, or if the parallel analysis is not
+// bit-identical to serial in either mode.
 func BenchmarkWPAScaling(b *testing.B) {
 	workerCounts := []int{1, 2, 4, 8, 16}
 	const costWPAPerRecord = 2e-6 // mirrors internal/core's Phase-3 model
@@ -540,8 +570,10 @@ func BenchmarkWPAScaling(b *testing.B) {
 					agg := float64(res.Stats.Records) * costWPAPerRecord / float64(w)
 					records = append(records, wpaScalingRecord{
 						Workload:                spec.Name,
+						Mode:                    "intra",
 						Retrieval:               retrieval,
 						Workers:                 w,
+						LayoutShards:            res.Stats.LayoutShards,
 						ModeledSeconds:          agg + layout,
 						ModeledAggregateSeconds: agg,
 						ModeledLayoutSeconds:    layout,
@@ -567,13 +599,78 @@ func BenchmarkWPAScaling(b *testing.B) {
 					}
 				}
 			}
+
+			// Inter-procedural arm (§4.7's global layout, heap retrieval):
+			// the parallel path shards by hot-graph component, so the
+			// modeled layout time is bounded below by the largest shard.
+			var interSerial []byte
+			for _, w := range workerCounts {
+				start := time.Now()
+				res, err := wpa.Analyze(m, prof, wpa.Config{Workers: w, InterProc: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				measured := time.Since(start).Seconds()
+
+				acts := interProcShardActions(res.Stats)
+				var totalCost, maxCost float64
+				for _, a := range acts {
+					totalCost += a.Cost
+					if a.Cost > maxCost {
+						maxCost = a.Cost
+					}
+				}
+				layout := totalCost / float64(w)
+				if maxCost > layout {
+					layout = maxCost
+				}
+				scheduled := 0.0
+				if len(acts) > 0 {
+					stats, err := (&buildsys.Executor{Slots: w}).Execute(acts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					scheduled = stats.Makespan
+				}
+				agg := float64(res.Stats.Records) * costWPAPerRecord / float64(w)
+				records = append(records, wpaScalingRecord{
+					Workload:                spec.Name,
+					Mode:                    "interproc",
+					Retrieval:               "heap",
+					Workers:                 w,
+					LayoutShards:            res.Stats.LayoutShards,
+					ModeledSeconds:          agg + layout,
+					ModeledAggregateSeconds: agg,
+					ModeledLayoutSeconds:    layout,
+					ScheduledLayoutSeconds:  scheduled,
+					MeasuredSeconds:         measured,
+					Records:                 res.Stats.Records,
+					HotFuncs:                res.Stats.HotFuncs,
+				})
+
+				// Bit-identity across the sweep: both artifacts, since the
+				// interproc path also rewrites the global symbol order
+				// (entry runs, .cold symbols).
+				var buf bytes.Buffer
+				if err := layoutfile.WriteDirectives(&buf, res.Directives); err != nil {
+					b.Fatal(err)
+				}
+				if err := layoutfile.WriteOrder(&buf, res.Order); err != nil {
+					b.Fatal(err)
+				}
+				if interSerial == nil {
+					interSerial = buf.Bytes()
+				} else if !bytes.Equal(buf.Bytes(), interSerial) {
+					b.Fatalf("%s: interproc workers=%d artifacts differ from workers=1", spec.Name, w)
+				}
+			}
 		}
 
 		// Modeled analysis time must be monotone non-increasing in workers
-		// for every (workload, retrieval) curve.
+		// for every (workload, mode, retrieval) curve.
 		last := map[string]float64{}
 		for _, rec := range records {
-			key := rec.Workload + "/" + rec.Retrieval
+			key := rec.Workload + "/" + rec.Mode + "/" + rec.Retrieval
 			if prev, ok := last[key]; ok && rec.ModeledSeconds > prev+1e-12 {
 				b.Fatalf("%s: modeled %.9fs at %d workers worse than previous point %.9fs",
 					key, rec.ModeledSeconds, rec.Workers, prev)
@@ -581,15 +678,16 @@ func BenchmarkWPAScaling(b *testing.B) {
 			last[key] = rec.ModeledSeconds
 		}
 
-		// The heap retrieval must beat naive at every worker count.
+		// The heap retrieval must beat naive at every worker count (the
+		// ablation only runs in intra mode).
 		naiveOf := map[string]float64{}
 		for _, rec := range records {
-			if rec.Retrieval == "naive" {
+			if rec.Mode == "intra" && rec.Retrieval == "naive" {
 				naiveOf[fmt.Sprintf("%s/%d", rec.Workload, rec.Workers)] = rec.ModeledSeconds
 			}
 		}
 		for _, rec := range records {
-			if rec.Retrieval != "heap" {
+			if rec.Mode != "intra" || rec.Retrieval != "heap" {
 				continue
 			}
 			nv, ok := naiveOf[fmt.Sprintf("%s/%d", rec.Workload, rec.Workers)]
@@ -603,22 +701,25 @@ func BenchmarkWPAScaling(b *testing.B) {
 		}
 
 		// Headline: clang's modeled heap-arm scaling across the sweep.
-		find := func(workload, retrieval string, w int) float64 {
+		find := func(workload, mode, retrieval string, w int) float64 {
 			for _, rec := range records {
-				if rec.Workload == workload && rec.Retrieval == retrieval && rec.Workers == w {
+				if rec.Workload == workload && rec.Mode == mode && rec.Retrieval == retrieval && rec.Workers == w {
 					return rec.ModeledSeconds
 				}
 			}
 			return math.NaN()
 		}
-		s1, s16 := find("clang", "heap", 1), find("clang", "heap", 16)
+		s1, s16 := find("clang", "intra", "heap", 1), find("clang", "intra", "heap", 16)
 		b.ReportMetric(s1/s16, "clangScale1to16x")
-		b.ReportMetric(find("clang", "naive", 1)/s1, "clangNaiveVsHeapX")
+		b.ReportMetric(find("clang", "intra", "naive", 1)/s1, "clangNaiveVsHeapX")
+		i1, i16 := find("clang", "interproc", "heap", 1), find("clang", "interproc", "heap", 16)
+		b.ReportMetric(i1/i16, "clangInterScale1to16x")
 		for _, spec := range workload.Catalog() {
-			fmt.Printf("Table4 WPA sweep %-14s heap 1->16 workers: %8.3fms -> %7.3fms (%4.1fx); naive@1: %8.3fms\n",
-				spec.Name, 1e3*find(spec.Name, "heap", 1), 1e3*find(spec.Name, "heap", 16),
-				find(spec.Name, "heap", 1)/find(spec.Name, "heap", 16),
-				1e3*find(spec.Name, "naive", 1))
+			fmt.Printf("Table4 WPA sweep %-14s heap 1->16 workers: %8.3fms -> %7.3fms (%4.1fx); naive@1: %8.3fms; interproc 1->16: %8.3fms -> %7.3fms\n",
+				spec.Name, 1e3*find(spec.Name, "intra", "heap", 1), 1e3*find(spec.Name, "intra", "heap", 16),
+				find(spec.Name, "intra", "heap", 1)/find(spec.Name, "intra", "heap", 16),
+				1e3*find(spec.Name, "intra", "naive", 1),
+				1e3*find(spec.Name, "interproc", "heap", 1), 1e3*find(spec.Name, "interproc", "heap", 16))
 		}
 
 		f, err := os.Create("BENCH_wpa.json")
@@ -630,6 +731,7 @@ func BenchmarkWPAScaling(b *testing.B) {
 		err = enc.Encode(map[string]any{
 			"benchmark": "WPAScaling",
 			"workers":   workerCounts,
+			"modes":     []string{"intra", "interproc"},
 			"records":   records,
 		})
 		if cerr := f.Close(); err == nil {

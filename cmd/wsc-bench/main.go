@@ -8,6 +8,7 @@
 //	wsc-bench -fig 6 -set wsc
 //	wsc-bench -fig 7              # clang heat maps
 //	wsc-bench -spec
+//	wsc-bench -table 5 -workers 8 # parallel WPA (§4.7; 0 = all cores)
 package main
 
 import (
@@ -21,12 +22,13 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "every table and figure")
-		table  = flag.Int("table", 0, "regenerate Table N (2, 3, 5)")
-		fig    = flag.Int("fig", 0, "regenerate Fig N (4, 5, 6, 7, 8, 9)")
-		spec   = flag.Bool("spec", false, "SPEC2017 results (§5.4)")
-		set    = flag.String("set", "all", "workload set: all | wsc | oss | spec | tiny")
-		noBolt = flag.Bool("no-bolt", false, "skip the BOLT comparator arm")
+		all     = flag.Bool("all", false, "every table and figure")
+		table   = flag.Int("table", 0, "regenerate Table N (2, 3, 5)")
+		fig     = flag.Int("fig", 0, "regenerate Fig N (4, 5, 6, 7, 8, 9)")
+		spec    = flag.Bool("spec", false, "SPEC2017 results (§5.4)")
+		set     = flag.String("set", "all", "workload set: all | wsc | oss | spec | tiny")
+		noBolt  = flag.Bool("no-bolt", false, "skip the BOLT comparator arm")
+		workers = flag.Int("workers", 0, "WPA parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *fig == 0 && !*spec {
@@ -46,6 +48,7 @@ func main() {
 			RunBolt:     !*noBolt,
 			Heatmaps:    *fig == 7 || *all,
 			Workstation: !s.Integrity && s.Name != "search",
+			WPAWorkers:  *workers,
 		}
 		res, err := eval.RunWorkload(cfg)
 		if err != nil {

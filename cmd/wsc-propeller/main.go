@@ -7,6 +7,7 @@
 //	wsc-propeller -workload clang
 //	wsc-propeller -ir-dir out/ -entry main
 //	wsc-propeller -workload search -interproc -hugepages
+//	wsc-propeller -workload search -interproc -workers 8
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		outDir     = flag.String("o", "", "write artifacts (binaries, cc_prof.txt, ld_prof.txt) here")
 		trainMax   = flag.Uint64("train-insts", 400_000_000, "training run budget")
 		evalMax    = flag.Uint64("eval-insts", 800_000_000, "measurement run budget")
+		workers    = flag.Int("workers", 0, "WPA parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	opts := core.Options{InterProc: *interProc, HugePages: *hugePages, SoftwarePrefetch: *doPrefetch}
+	opts.WPA.Workers = *workers
 	train := core.RunSpec{MaxInsts: *trainMax, LBRPeriod: 211}
 
 	fmt.Printf("propeller: PGO+ThinLTO baseline over %d modules...\n", len(prog.Modules))

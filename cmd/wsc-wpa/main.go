@@ -108,8 +108,9 @@ func main() {
 		st.Samples, st.Records, st.DCFGFuncs, st.DCFGNodes, st.DCFGEdges, st.HotFuncs,
 		memmodel.MB(st.ModeledBytes))
 	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
-	fmt.Printf("wsc-wpa: %d workers; wall time aggregate %.2fms + merge %.2fms + layout %.2fms = %.2fms\n",
-		st.Workers, ms(st.AggregateWall), ms(st.MergeWall), ms(st.LayoutWall), st.AnalysisSeconds*1e3)
+	fmt.Printf("wsc-wpa: %d workers (layout x%d over %d shards); wall time aggregate %.2fms + merge %.2fms + layout %.2fms = %.2fms\n",
+		st.Workers, st.LayoutWorkers, st.LayoutShards,
+		ms(st.AggregateWall), ms(st.MergeWall), ms(st.LayoutWall), st.AnalysisSeconds*1e3)
 	fmt.Printf("wsc-wpa: wrote %s and %s\n", *ccOut, *ldOut)
 }
 

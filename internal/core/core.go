@@ -583,18 +583,10 @@ func Optimize(p *Program, train RunSpec, opts Options) (*Result, error) {
 		Makespan:  meta.Exec.Makespan + meta.Linking,
 		PeakMem:   maxI64(meta.Exec.PeakActionMem, meta.Link.PeakMemory),
 	}
-	// Sharded aggregation divides the modeled analysis makespan by the
-	// worker count (total cost is unchanged). Only an explicit Workers
-	// setting scales the model: the default (0 = GOMAXPROCS) would make
-	// the modeled Table-5 numbers depend on the reporting machine.
-	wpaSpan := float64(wres.Stats.Records) * costWPAPerRecord
-	if w := opts.WPA.Workers; w > 1 {
-		wpaSpan /= float64(w)
-	}
 	out.Phase3 = PhaseStats{
 		Actions:   1,
 		TotalCost: float64(wres.Stats.Records) * costWPAPerRecord,
-		Makespan:  wpaSpan,
+		Makespan:  Phase3Makespan(wres.Stats, opts.WPA.Workers),
 		PeakMem:   wres.Stats.ModeledBytes,
 	}
 	out.Phase4 = PhaseStats{
@@ -604,6 +596,46 @@ func Optimize(p *Program, train RunSpec, opts Options) (*Result, error) {
 		PeakMem:   maxI64(optimized.Exec.PeakActionMem, optimized.Link.PeakMemory),
 	}
 	return out, nil
+}
+
+// Phase3Makespan models the Phase-3 wall time for an analysis that ran
+// with the given explicit worker setting. The modeled span (Records x
+// per-record cost, the Table-5 quantity) is split between the two arms
+// of §4.7's parallel analysis by their measured wall-time shares, and
+// each arm scales by its own parallelism: sample aggregation (plus the
+// shard merge, which only exists when aggregation is sharded) divides by
+// the worker count, while the layout arm divides by the effective layout
+// parallelism the analysis reported — 1 when a serial global Ext-TSP run
+// ignored the worker setting, min(workers, shards) when it sharded.
+// Dividing the whole span by the worker count, as the model used to,
+// overstated InterProc scaling whenever the layout arm did not shard.
+//
+// Only an explicit Workers setting (> 1) scales the model: the default
+// (0 = GOMAXPROCS) would make the modeled Table-5 numbers depend on the
+// reporting machine.
+func Phase3Makespan(st wpa.Stats, workers int) float64 {
+	total := float64(st.Records) * costWPAPerRecord
+	if workers <= 1 {
+		return total
+	}
+	aggWall := (st.AggregateWall + st.MergeWall).Seconds()
+	layWall := st.LayoutWall.Seconds()
+	wall := aggWall + layWall
+	if wall <= 0 {
+		// No measured breakdown (synthetic stats): attribute the whole
+		// span to aggregation, the pre-split behavior.
+		return total / float64(workers)
+	}
+	layWorkers := st.LayoutWorkers
+	if layWorkers < 1 {
+		layWorkers = 1
+	}
+	if layWorkers > workers {
+		layWorkers = workers
+	}
+	aggSpan := total * (aggWall / wall) / float64(workers)
+	laySpan := total * (layWall / wall) / float64(layWorkers)
+	return aggSpan + laySpan
 }
 
 func validate(p *Program) error {

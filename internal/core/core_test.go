@@ -1,13 +1,16 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"propeller/internal/buildsys"
 	"propeller/internal/ir"
 	"propeller/internal/sim"
 	"propeller/internal/testprog"
+	"propeller/internal/wpa"
 )
 
 func multiModuleProgram() *Program {
@@ -167,6 +170,80 @@ func TestInterProcPipeline(t *testing.T) {
 	oRes := runBinary(t, res.Optimized)
 	if mRes.Exit != oRes.Exit {
 		t.Fatalf("inter-proc layout changed semantics: %d vs %d", mRes.Exit, oRes.Exit)
+	}
+}
+
+// TestPhase3MakespanSplitsPhases pins the §4.7 Phase-3 makespan model:
+// the modeled span splits between aggregation and layout by their
+// measured wall shares, and each arm divides by its own parallelism. The
+// old model divided the entire span by the worker count even when the
+// InterProc layout ran serial, overstating scaling 4x in the case below.
+func TestPhase3MakespanSplitsPhases(t *testing.T) {
+	st := wpa.Stats{
+		Records:       1_000_000,
+		AggregateWall: 300 * time.Millisecond,
+		MergeWall:     100 * time.Millisecond,
+		LayoutWall:    600 * time.Millisecond,
+	}
+	total := float64(st.Records) * 2e-6 // costWPAPerRecord
+	if got := Phase3Makespan(st, 0); got != total {
+		t.Errorf("workers=0: makespan = %v, want unscaled %v", got, total)
+	}
+	if got := Phase3Makespan(st, 1); got != total {
+		t.Errorf("workers=1: makespan = %v, want unscaled %v", got, total)
+	}
+
+	// Serial layout (LayoutWorkers 1, today's InterProc arm before
+	// sharding): only the aggregation 40% share scales.
+	st.LayoutWorkers = 1
+	want := total*0.4/4 + total*0.6
+	if got := Phase3Makespan(st, 4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("serial layout, workers=4: makespan = %v, want %v", got, want)
+	}
+
+	// Sharded layout with enough components: both arms scale.
+	st.LayoutWorkers = 4
+	want = total / 4
+	if got := Phase3Makespan(st, 4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("sharded layout, workers=4: makespan = %v, want %v", got, want)
+	}
+
+	// Layout parallelism is clamped by the component count.
+	st.LayoutWorkers = 2
+	want = total*0.4/8 + total*0.6/2
+	if got := Phase3Makespan(st, 8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("2 shards, workers=8: makespan = %v, want %v", got, want)
+	}
+
+	// Synthetic stats without measured walls: pre-split behavior.
+	if got := Phase3Makespan(wpa.Stats{Records: 500}, 5); got != float64(500)*2e-6/5 {
+		t.Errorf("no walls: makespan = %v", got)
+	}
+}
+
+// TestInterProcPhase3Model checks the end-to-end wiring: an InterProc
+// Optimize run's Phase-3 makespan must equal the model applied to the
+// analysis stats it reports, and must never scale below what the
+// effective layout parallelism permits.
+func TestInterProcPhase3Model(t *testing.T) {
+	p := multiModuleProgram()
+	opts := Options{InterProc: true}
+	opts.WPA.Workers = 4
+	res, err := Optimize(p, RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Phase3.Makespan, Phase3Makespan(res.WPAStats, 4); got != want {
+		t.Errorf("Phase3.Makespan = %v, want model value %v", got, want)
+	}
+	if res.Phase3.TotalCost < res.Phase3.Makespan {
+		t.Errorf("makespan %v exceeds total cost %v", res.Phase3.Makespan, res.Phase3.TotalCost)
+	}
+	if res.WPAStats.LayoutWorkers < 1 || res.WPAStats.LayoutWorkers > 4 {
+		t.Errorf("effective layout workers = %d, want 1..4", res.WPAStats.LayoutWorkers)
+	}
+	if res.WPAStats.LayoutShards < 1 {
+		t.Errorf("layout shards = %d, want >= 1", res.WPAStats.LayoutShards)
 	}
 }
 

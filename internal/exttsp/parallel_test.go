@@ -1,0 +1,143 @@
+package exttsp
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// islandGraph builds a graph of several disconnected fuzz islands, the
+// shape the component-sharded chain formation partitions.
+func islandGraph(rng *rand.Rand, islands int) *Graph {
+	g := &Graph{}
+	for k := 0; k < islands; k++ {
+		sub := fuzzGraph(rng, 2+rng.Intn(24))
+		base := len(g.Nodes)
+		g.Nodes = append(g.Nodes, sub.Nodes...)
+		for _, e := range sub.Edges {
+			g.Edges = append(g.Edges, Edge{Src: base + e.Src, Dst: base + e.Dst, Weight: e.Weight})
+		}
+	}
+	// Shuffle edge order; the layout must not depend on it beyond the
+	// deterministic candidate tie-breaks.
+	rng.Shuffle(len(g.Edges), func(i, j int) { g.Edges[i], g.Edges[j] = g.Edges[j], g.Edges[i] })
+	return g
+}
+
+func TestComponentsPartition(t *testing.T) {
+	g := &Graph{Nodes: make([]Node, 7)}
+	g.Edges = []Edge{
+		{Src: 0, Dst: 2, Weight: 5},
+		{Src: 2, Dst: 4, Weight: 1},
+		{Src: 5, Dst: 1, Weight: 3},
+		{Src: 3, Dst: 3, Weight: 9}, // self-loop: no adjacency
+		{Src: 3, Dst: 6, Weight: 0}, // zero weight: no adjacency
+	}
+	got := Components(g)
+	want := [][]int{{0, 2, 4}, {1, 5}, {3}, {6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("components = %v, want %v", got, want)
+	}
+}
+
+// TestLayoutParallelMatchesSerial is the sharding property: for
+// multi-component graphs, component-sharded chain formation merged over
+// pre-built chains must reproduce the serial whole-graph layout exactly,
+// for both retrieval strategies, with and without a forced-first node.
+func TestLayoutParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4407))
+	for trial := 0; trial < 60; trial++ {
+		g := islandGraph(rng, 1+rng.Intn(6))
+		forced := -1
+		if rng.Intn(2) == 0 {
+			forced = rng.Intn(len(g.Nodes))
+		}
+		for _, useHeap := range []bool{false, true} {
+			opts := Options{ForcedFirst: forced, UseHeap: useHeap}
+			want, err := Layout(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 3, 8} {
+				got, err := LayoutParallel(g, opts, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d heap=%v workers=%d: parallel layout diverged\nserial   %v\nparallel %v",
+						trial, useHeap, w, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFormChainsMatchesGlobalChains checks the per-component claim
+// directly: chains formed on one component's induced subgraph equal the
+// chains a whole-graph run forms for that component.
+func TestFormChainsMatchesGlobalChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := islandGraph(rng, 2+rng.Intn(4))
+		opts := Options{ForcedFirst: -1, UseHeap: trial%2 == 0}
+		st := newState(g, opts)
+		if opts.UseHeap {
+			st.runHeap()
+		} else {
+			st.runNaive()
+		}
+		global := map[int][]int{} // representative -> nodes
+		for _, c := range st.chains {
+			if !c.dead {
+				global[minNode(Chain{Nodes: c.nodes})] = c.nodes
+			}
+		}
+		for _, comp := range Components(g) {
+			chains, err := FormChains(g, opts, comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ch := range chains {
+				want, ok := global[minNode(ch)]
+				if !ok || !reflect.DeepEqual(ch.Nodes, want) {
+					t.Fatalf("trial %d comp %v: shard chain %v != global chain %v", trial, comp, ch.Nodes, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLayoutChainsValidation(t *testing.T) {
+	g := &Graph{Nodes: make([]Node, 3)}
+	cases := [][]Chain{
+		{{Nodes: []int{0, 1}}},                       // node 2 missing
+		{{Nodes: []int{0, 1}}, {Nodes: []int{1, 2}}}, // node 1 twice
+		{{Nodes: []int{0, 1, 2}}, {Nodes: nil}},      // empty chain
+		{{Nodes: []int{0, 1, 5}}},                    // out of range
+	}
+	for i, chains := range cases {
+		if _, err := LayoutChains(g, Options{ForcedFirst: -1}, chains); err == nil {
+			t.Errorf("case %d: invalid chain partition accepted", i)
+		}
+	}
+	order, err := LayoutChains(g, Options{ForcedFirst: -1}, []Chain{{Nodes: []int{1, 0}}, {Nodes: []int{2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]int(nil), order...)
+	sort.Ints(sorted)
+	if !reflect.DeepEqual(sorted, []int{0, 1, 2}) {
+		t.Fatalf("layout %v is not a permutation", order)
+	}
+}
+
+func TestFormChainsRejectsBadShard(t *testing.T) {
+	g := fuzzGraph(rand.New(rand.NewSource(1)), 6)
+	if _, err := FormChains(g, Options{ForcedFirst: -1}, []int{2, 1}); err == nil {
+		t.Error("descending shard accepted")
+	}
+	if _, err := FormChains(g, Options{ForcedFirst: -1}, []int{0, 9}); err == nil {
+		t.Error("out-of-range shard node accepted")
+	}
+}

@@ -83,9 +83,12 @@ func renderResult(t *testing.T, res *Result) (ccProf, ldProf []byte) {
 }
 
 // statsComparable strips the measured wall times, which legitimately vary
-// between runs; everything else must match exactly.
+// between runs, and the worker counts, which differ by configuration;
+// everything else — including the worker-independent layout shard shape —
+// must match exactly.
 func statsComparable(st Stats) Stats {
 	st.Workers = 0
+	st.LayoutWorkers = 0
 	st.AggregateWall = 0
 	st.MergeWall = 0
 	st.LayoutWall = 0
@@ -132,9 +135,10 @@ func TestParallelAnalyzeBitIdentical(t *testing.T) {
 	}
 }
 
-// TestParallelAnalyzeStreamBitIdentical covers the chunked-reading path:
-// the batched fan-out over shard workers must match both the serial
-// stream and the in-memory parallel analysis byte for byte.
+// TestParallelAnalyzeStreamBitIdentical covers the chunked-reading path
+// in both layout modes: the batched fan-out over shard workers must match
+// both the serial stream and the in-memory parallel analysis byte for
+// byte.
 func TestParallelAnalyzeStreamBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(977))
 	m := randMap(rng, 12)
@@ -144,31 +148,146 @@ func TestParallelAnalyzeStreamBitIdentical(t *testing.T) {
 	if err := prof.Write(&raw); err != nil {
 		t.Fatal(err)
 	}
-	serial, err := AnalyzeStream(m, bytes.NewReader(raw.Bytes()), Config{Workers: 1})
+	for _, interProc := range []bool{false, true} {
+		serial, err := AnalyzeStream(m, bytes.NewReader(raw.Bytes()), Config{Workers: 1, InterProc: interProc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCC, wantLD := renderResult(t, serial)
+		for _, w := range []int{2, 4, 8} {
+			par, err := AnalyzeStream(m, bytes.NewReader(raw.Bytes()), Config{Workers: w, InterProc: interProc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCC, gotLD := renderResult(t, par)
+			if !bytes.Equal(gotCC, wantCC) || !bytes.Equal(gotLD, wantLD) {
+				t.Fatalf("interproc=%v workers=%d: streamed artifacts differ from serial stream", interProc, w)
+			}
+			if got, want := statsComparable(par.Stats), statsComparable(serial.Stats); !reflect.DeepEqual(got, want) {
+				t.Fatalf("interproc=%v workers=%d: stream stats diverged\nserial   %+v\nparallel %+v", interProc, w, want, got)
+			}
+		}
+		inMem, err := Analyze(m, prof, Config{Workers: 4, InterProc: interProc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		memCC, memLD := renderResult(t, inMem)
+		if !bytes.Equal(memCC, wantCC) || !bytes.Equal(memLD, wantLD) {
+			t.Fatalf("interproc=%v: parallel in-memory analysis differs from streamed analysis", interProc)
+		}
+	}
+}
+
+// interProcEdgeMap is a hand-built binary for the inter-proc edge cases:
+// alpha has an entry chain (0->1), a hotter disconnected block island
+// (2->3) that the global layout places before the entry run, and a cold
+// block 4 that never executes; beta is called from alpha; gamma is its
+// own component.
+func interProcEdgeMap() *bbaddrmap.Map {
+	m := &bbaddrmap.Map{}
+	add := func(name string, addr uint64, nb int) {
+		fe := bbaddrmap.FuncEntry{Name: name, Addr: addr}
+		for b := 0; b < nb; b++ {
+			fe.Blocks = append(fe.Blocks, bbaddrmap.BlockEntry{ID: b, Offset: uint64(16 * b), Size: 16})
+		}
+		m.Funcs = append(m.Funcs, fe)
+	}
+	add("alpha", 0x1000, 5)
+	add("beta", 0x2000, 2)
+	add("gamma", 0x3000, 2)
+	return m
+}
+
+func interProcEdgeProfile(m *bbaddrmap.Map) *profile.Profile {
+	p := &profile.Profile{Binary: "edge", Period: 1000}
+	start := func(f, b int) uint64 { return m.Funcs[f].Addr + uint64(16*b) }
+	branch := func(f, b int) uint64 { return start(f, b) + 15 }
+	rec := func(from, to uint64, n int) {
+		for i := 0; i < n; i++ {
+			p.Samples = append(p.Samples, profile.Sample{Records: []profile.Branch{{From: from, To: to}}})
+		}
+	}
+	// alpha's hot island: a 2<->3 loop, no path from the entry chain.
+	// Two records per sample so the fall-through range credits both
+	// blocks (lone records only count their target).
+	for i := 0; i < 100; i++ {
+		p.Samples = append(p.Samples, profile.Sample{Records: []profile.Branch{
+			{From: branch(0, 2), To: start(0, 3)},
+			{From: branch(0, 3), To: start(0, 2)},
+		}})
+	}
+	rec(branch(0, 0), start(0, 1), 2)  // alpha's entry chain
+	rec(branch(0, 1), start(1, 0), 50) // call site alpha[1] -> beta entry
+	rec(branch(1, 0), start(1, 1), 50) // beta 0->1
+	rec(branch(2, 0), start(2, 1), 10) // gamma, a separate component
+	return p
+}
+
+// TestInterProcEntryRunAndColdSplit pins the two inter-proc emission edge
+// cases on a hand-built graph: a non-entry run that the global chain
+// places before the function's entry run must be emitted as a secondary
+// `fn.N` symbol while the directive file still leads with the entry
+// cluster, and a function with unexecuted blocks must grow a trailing
+// `fn.cold` symbol. Both must survive the parallel path bit-identically,
+// and the shard stats must reflect the component partition, not the
+// configured worker count.
+func TestInterProcEntryRunAndColdSplit(t *testing.T) {
+	m := interProcEdgeMap()
+	prof := interProcEdgeProfile(m)
+	serial, err := Analyze(m, prof, Config{Workers: 1, InterProc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantCC, wantLD := renderResult(t, serial)
+
+	// The entry cluster leads the directive even though the island run
+	// comes first in the global order.
+	if got := serial.Directives["alpha"].Clusters; !reflect.DeepEqual(got, [][]int{{0, 1}, {2, 3}}) {
+		t.Fatalf("alpha clusters = %v, want [[0 1] [2 3]]", got)
+	}
+	idx := map[string]int{}
+	for i, s := range serial.Order.Symbols {
+		idx[s] = i
+	}
+	for _, s := range []string{"alpha", "alpha.1", "alpha.cold", "beta", "gamma"} {
+		if _, ok := idx[s]; !ok {
+			t.Fatalf("ld_prof symbols %v missing %q", serial.Order.Symbols, s)
+		}
+	}
+	if idx["alpha.1"] >= idx["alpha"] {
+		t.Fatalf("entry-run reorder not observed: alpha.1 at %d, alpha at %d", idx["alpha.1"], idx["alpha"])
+	}
+	if idx["alpha.cold"] < idx["gamma"] {
+		t.Fatalf("cold symbol not trailing: %v", serial.Order.Symbols)
+	}
+	if got, want := serial.Stats.LayoutShards, 3; got != want {
+		t.Fatalf("LayoutShards = %d, want %d", got, want)
+	}
+	if got, want := serial.Stats.LayoutShardNodes, []int{4, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("LayoutShardNodes = %v, want %v", got, want)
+	}
+	if serial.Stats.LayoutWorkers != 1 {
+		t.Fatalf("serial LayoutWorkers = %d, want 1", serial.Stats.LayoutWorkers)
+	}
+
 	for _, w := range []int{2, 4, 8} {
-		par, err := AnalyzeStream(m, bytes.NewReader(raw.Bytes()), Config{Workers: w})
+		par, err := Analyze(m, prof, Config{Workers: w, InterProc: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		gotCC, gotLD := renderResult(t, par)
 		if !bytes.Equal(gotCC, wantCC) || !bytes.Equal(gotLD, wantLD) {
-			t.Fatalf("workers=%d: streamed artifacts differ from serial stream", w)
+			t.Fatalf("workers=%d: edge-case artifacts differ from serial\nserial ld:\n%s\nparallel ld:\n%s", w, wantLD, gotLD)
 		}
-		if got, want := statsComparable(par.Stats), statsComparable(serial.Stats); !reflect.DeepEqual(got, want) {
-			t.Fatalf("workers=%d: stream stats diverged\nserial   %+v\nparallel %+v", w, want, got)
+		// Effective layout parallelism is clamped to the shard count.
+		want := w
+		if want > par.Stats.LayoutShards {
+			want = par.Stats.LayoutShards
 		}
-	}
-	inMem, err := Analyze(m, prof, Config{Workers: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	memCC, memLD := renderResult(t, inMem)
-	if !bytes.Equal(memCC, wantCC) || !bytes.Equal(memLD, wantLD) {
-		t.Fatal("parallel in-memory analysis differs from streamed analysis")
+		if par.Stats.LayoutWorkers != want {
+			t.Fatalf("workers=%d: LayoutWorkers = %d, want %d (shards=%d)",
+				w, par.Stats.LayoutWorkers, want, par.Stats.LayoutShards)
+		}
 	}
 }
 

@@ -85,8 +85,27 @@ type Stats struct {
 	// to exactly these two).
 	ModeledBytes int64
 
-	// Workers is the number of workers the analysis actually used.
+	// Workers is the number of workers the sample-aggregation phase
+	// actually used.
 	Workers int
+
+	// LayoutWorkers is the effective parallelism of the layout phase:
+	// the worker-pool size after clamping to the number of independent
+	// layout units. Before the inter-procedural run was sharded it was
+	// always 1 in InterProc mode; reporting the effective value keeps
+	// the §4.7 scaling report honest.
+	LayoutWorkers int
+
+	// LayoutShards is the number of independent layout units: hot
+	// functions in intra-function mode, connected components of the
+	// global hot-block graph in InterProc mode. It bounds LayoutWorkers
+	// and is identical at every worker count.
+	LayoutShards int
+
+	// LayoutShardNodes, in InterProc mode, holds the hot-block count of
+	// every component shard in descending order — the partition shape
+	// the modeled layout-scaling curve (BENCH_wpa.json) is derived from.
+	LayoutShardNodes []int
 
 	// Per-phase wall-time breakdown (the Table-4 analysis-time axis):
 	// AggregateWall covers sample aggregation (sharded when Workers > 1),
@@ -554,6 +573,10 @@ func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInf
 	if w > len(names) {
 		w = len(names)
 	}
+	if w < 1 {
+		w = 1
+	}
+	res.Stats.LayoutWorkers = w
 	if w <= 1 {
 		for i, fn := range names {
 			outs[i] = layoutOneIntra(graphs[fn], cfg)
@@ -593,6 +616,7 @@ func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInf
 		res.Directives[fn] = layoutfile.ClusterSpec{Clusters: [][]int{o.cluster}}
 		hot = append(hot, hotFunc{name: fn, samples: o.samples})
 	}
+	res.Stats.LayoutShards = len(hot)
 
 	// Global function order: C3 over the hot functions.
 	idx := make(map[string]int, len(hot))
@@ -625,22 +649,49 @@ func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInf
 		}
 	}
 	order := hfsort.Order(funcs, calls, cfg.MaxClusterSize)
-	for _, fi := range order {
+	ordered := make([]string, len(order))
+	for i, fi := range order {
+		ordered[i] = funcs[fi].Name
 		res.Order.Symbols = append(res.Order.Symbols, funcs[fi].Name)
 	}
 	// Cold split parts are grouped after all hot code.
-	for _, fi := range order {
-		fn := funcs[fi].Name
-		if len(res.Directives[fn].Clusters[0]) < len(infos[fn].order) {
+	appendColdSymbols(res, ordered, infos)
+	return nil
+}
+
+// appendColdSymbols emits the fn.cold section symbols, in the given
+// function order, for every directive that leaves blocks out of the hot
+// clusters. A name without a directive (or with no clusters) is skipped:
+// the global function order may legitimately mention functions the layout
+// produced nothing for, and indexing Clusters[0] unguarded would panic.
+func appendColdSymbols(res *Result, names []string, infos map[string]*funcInfo) {
+	for _, fn := range names {
+		spec, ok := res.Directives[fn]
+		if !ok || len(spec.Clusters) == 0 {
+			continue
+		}
+		listed := 0
+		for _, c := range spec.Clusters {
+			listed += len(c)
+		}
+		if fi := infos[fn]; fi != nil && listed < len(fi.order) {
 			res.Order.Symbols = append(res.Order.Symbols, fn+".cold")
 		}
 	}
-	return nil
 }
 
 // layoutInterProc runs one global Ext-TSP over all hot blocks with call
 // edges included (§4.7), then slices the global chain into per-function
 // cluster sections and a symbol order matching the chain.
+//
+// The global run is the paper's 3-10x analysis-cost arm, and it shards:
+// chain formation decomposes by connected components of the hot-block
+// graph (hfsort-style function clusters joined by their sampled call
+// edges), so with cfg.Workers > 1 the components fan out over a worker
+// pool (exttsp.FormChains) and the pre-built shard chain-sets are merged
+// by re-seeding the ordinary heap retrieval (exttsp.LayoutChains). The
+// result is bit-identical at every worker count, and the 1-worker path
+// is exactly the serial whole-graph exttsp.Layout call.
 func layoutInterProc(res *Result, graphs map[string]*dcfg, infos map[string]*funcInfo, callEdges map[callKey]uint64, cfg Config) error {
 	names := sortedFuncNames(graphs)
 	type globalNode struct {
@@ -713,7 +764,33 @@ func layoutInterProc(res *Result, graphs map[string]*dcfg, infos map[string]*fun
 		}
 	}
 
-	order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: -1, UseHeap: !cfg.NaiveExtTSP})
+	// The component partition is worker-independent, so the shard-shape
+	// stats (and therefore the modeled scaling curve) are identical at
+	// every worker count.
+	comps := exttsp.Components(eg)
+	res.Stats.LayoutShards = len(comps)
+	res.Stats.LayoutShardNodes = make([]int, len(comps))
+	for i, c := range comps {
+		res.Stats.LayoutShardNodes[i] = len(c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(res.Stats.LayoutShardNodes)))
+	w := cfg.workers()
+	if w > len(comps) {
+		w = len(comps)
+	}
+	if w < 1 {
+		w = 1
+	}
+	res.Stats.LayoutWorkers = w
+
+	eopts := exttsp.Options{ForcedFirst: -1, UseHeap: !cfg.NaiveExtTSP}
+	var order []int
+	var err error
+	if w <= 1 {
+		order, err = exttsp.Layout(eg, eopts)
+	} else {
+		order, err = exttsp.LayoutParallel(eg, eopts, w)
+	}
 	if err != nil {
 		return fmt.Errorf("wpa: global layout: %w", err)
 	}
@@ -780,18 +857,6 @@ func layoutInterProc(res *Result, graphs map[string]*dcfg, infos map[string]*fun
 		res.Order.Symbols = append(res.Order.Symbols, symbolOfRun[r.fn][i])
 	}
 	// Cold parts last.
-	for _, fn := range sortedFuncNames(graphs) {
-		spec, ok := res.Directives[fn]
-		if !ok {
-			continue
-		}
-		listed := 0
-		for _, c := range spec.Clusters {
-			listed += len(c)
-		}
-		if listed < len(infos[fn].order) {
-			res.Order.Symbols = append(res.Order.Symbols, fn+".cold")
-		}
-	}
+	appendColdSymbols(res, sortedFuncNames(graphs), infos)
 	return nil
 }
