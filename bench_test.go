@@ -1054,3 +1054,86 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }
+
+// BenchmarkFleetProf runs the fleet-collection scaling sweep: hosts 1-64
+// x ingest shards 1-8 x transport loss rates, on the tiny workload. Each
+// cell replays the same per-host LBR profiles through a fresh sharded
+// ingestion service and reports the modeled collection+ingestion
+// makespan. It writes BENCH_fleetprof.json (the CI bench-smoke artifact)
+// and fails if the makespan is not monotone non-increasing in shard count
+// at fixed (hosts, loss), or if the merged fleet profile is not
+// bit-identical across every shard count and loss rate at a given host
+// count — the determinism contract of the ingestion tier.
+func BenchmarkFleetProf(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		points, _, err := eval.FleetSweep(eval.FleetSweepConfig{
+			Spec:       workload.Tiny(),
+			TrainInsts: 4_000_000,
+			Hosts:      []int{1, 4, 16, 64},
+			Shards:     []int{1, 2, 4, 8},
+			LossRates:  []float64{0, 0.2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		// Makespan monotone non-increasing in shards within each
+		// (hosts, loss) curve; merged profile identical across the whole
+		// (shards x loss) grid at fixed hosts.
+		lastSpan := map[string]float64{}
+		shaOf := map[int]string{}
+		for _, pt := range points {
+			curve := fmt.Sprintf("hosts=%d/loss=%g", pt.Hosts, pt.LossRate)
+			if prev, ok := lastSpan[curve]; ok && pt.MakespanSeconds > prev+1e-12 {
+				b.Fatalf("%s: makespan %.9fs at %d shards worse than previous point %.9fs",
+					curve, pt.MakespanSeconds, pt.Shards, prev)
+			}
+			lastSpan[curve] = pt.MakespanSeconds
+			if want, ok := shaOf[pt.Hosts]; !ok {
+				shaOf[pt.Hosts] = pt.MergedSHA256
+			} else if pt.MergedSHA256 != want {
+				b.Fatalf("hosts=%d shards=%d loss=%g: merged profile differs from shards=1 lossless",
+					pt.Hosts, pt.Shards, pt.LossRate)
+			}
+			if pt.LossRate > 0 && pt.Hosts >= 4 && pt.LostDeliveries == 0 {
+				b.Fatalf("hosts=%d loss=%g: expected lost deliveries", pt.Hosts, pt.LossRate)
+			}
+		}
+
+		// Headline: 64-host ingestion scaling from 1 to 8 shards.
+		find := func(hosts, shards int, loss float64) float64 {
+			for _, pt := range points {
+				if pt.Hosts == hosts && pt.Shards == shards && pt.LossRate == loss {
+					return pt.MakespanSeconds
+				}
+			}
+			return math.NaN()
+		}
+		b.ReportMetric(find(64, 1, 0)/find(64, 8, 0), "fleet64Scale1to8x")
+		for _, hosts := range []int{1, 4, 16, 64} {
+			fmt.Printf("FleetProf sweep hosts=%-3d shards 1->8: %8.3fms -> %8.3fms (%4.2fx); with 20%% loss: %8.3fms -> %8.3fms\n",
+				hosts, 1e3*find(hosts, 1, 0), 1e3*find(hosts, 8, 0), find(hosts, 1, 0)/find(hosts, 8, 0),
+				1e3*find(hosts, 1, 0.2), 1e3*find(hosts, 8, 0.2))
+		}
+
+		f, err := os.Create("BENCH_fleetprof.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(map[string]any{
+			"benchmark": "FleetProf",
+			"hosts":     []int{1, 4, 16, 64},
+			"shards":    []int{1, 2, 4, 8},
+			"lossRates": []float64{0, 0.2},
+			"records":   points,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +30,13 @@ func main() {
 		set     = flag.String("set", "all", "workload set: all | wsc | oss | spec | tiny")
 		noBolt  = flag.Bool("no-bolt", false, "skip the BOLT comparator arm")
 		workers = flag.Int("workers", 0, "WPA parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
+		fleet   = flag.Bool("fleet", false, "fleet-collection scaling sweep (hosts x ingest shards x loss), writes BENCH_fleetprof.json")
 	)
 	flag.Parse()
+	if *fleet {
+		runFleetSweep()
+		return
+	}
 	if !*all && *table == 0 && *fig == 0 && !*spec {
 		flag.Usage()
 		os.Exit(2)
@@ -88,6 +94,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wsc-bench: nothing to do for -table %d / -fig %d\n", *table, *fig)
 		os.Exit(2)
 	}
+}
+
+// runFleetSweep regenerates the fleet ingestion scaling study (the
+// BenchmarkFleetProf artifact): modeled collection+ingestion makespan
+// over hosts 1-64 x shards 1-8 x transport loss rates.
+func runFleetSweep() {
+	fmt.Fprintln(os.Stderr, "wsc-bench: fleet-collection sweep (hosts x shards x loss)...")
+	points, bin, err := eval.FleetSweep(eval.FleetSweepConfig{Spec: workload.Tiny()})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: fleet sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fleet sweep over build %.16s..\n", bin.BuildID)
+	fmt.Printf("%6s %6s %6s %12s %10s %8s %8s\n", "hosts", "shards", "loss", "makespan", "batches", "lost", "dups")
+	for _, pt := range points {
+		fmt.Printf("%6d %6d %6.2f %10.3fms %10d %8d %8d\n",
+			pt.Hosts, pt.Shards, pt.LossRate, 1e3*pt.MakespanSeconds,
+			pt.AcceptedBatches, pt.LostDeliveries, pt.DuplicateBatches)
+	}
+	f, err := os.Create("BENCH_fleetprof.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(map[string]any{"benchmark": "FleetProf", "records": points})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wsc-bench: wrote BENCH_fleetprof.json")
 }
 
 func pickSet(set string) []workload.Spec {

@@ -8,6 +8,14 @@
 //	wsc-propeller -ir-dir out/ -entry main
 //	wsc-propeller -workload search -interproc -hugepages
 //	wsc-propeller -workload search -interproc -workers 8
+//	wsc-propeller -workload search -fleet-hosts 8 -fleet-shards 4
+//
+// -fleet-hosts switches Phase 3 to fleet-scale collection: the training
+// run happens on N simulated hosts whose LBR sample batches stream
+// through the sharded ingestion service (with the modeled transport's
+// loss/duplication when -fleet-loss is set) before the merged profile
+// reaches the analyzer. The ingestion /statusz snapshot is printed after
+// the run.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"propeller/internal/core"
+	"propeller/internal/fleetprof"
 	"propeller/internal/ir"
 	"propeller/internal/layoutfile"
 	"propeller/internal/memmodel"
@@ -39,6 +48,10 @@ func main() {
 		trainMax   = flag.Uint64("train-insts", 400_000_000, "training run budget")
 		evalMax    = flag.Uint64("eval-insts", 800_000_000, "measurement run budget")
 		workers    = flag.Int("workers", 0, "WPA parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
+		fleetHosts = flag.Int("fleet-hosts", 0, "fleet collection: profile on N simulated hosts through the ingestion service (0 = single training run)")
+		fleetShard = flag.Int("fleet-shards", 1, "ingestion service shard count (with -fleet-hosts)")
+		fleetLoss  = flag.Float64("fleet-loss", 0, "transport delivery loss rate in [0,1) (with -fleet-hosts)")
+		fleetMinS  = flag.Int64("fleet-min-samples", 0, "admission gate: minimum total accepted samples")
 	)
 	flag.Parse()
 
@@ -48,6 +61,15 @@ func main() {
 	}
 	opts := core.Options{InterProc: *interProc, HugePages: *hugePages, SoftwarePrefetch: *doPrefetch}
 	opts.WPA.Workers = *workers
+	if *fleetHosts > 0 {
+		opts.Fleet = &core.FleetOptions{
+			Hosts:    *fleetHosts,
+			Shards:   *fleetShard,
+			LossRate: *fleetLoss,
+			DupRate:  *fleetLoss / 2,
+			Gate:     fleetprof.Gate{MinSamples: *fleetMinS},
+		}
+	}
 	train := core.RunSpec{MaxInsts: *trainMax, LBRPeriod: 211}
 
 	fmt.Printf("propeller: PGO+ThinLTO baseline over %d modules...\n", len(prog.Modules))
@@ -80,6 +102,11 @@ func main() {
 		res.Phase4.Makespan, memmodel.MB(res.Phase4.PeakMem))
 	fmt.Printf("objects: %d hot rebuilt, %d cold reused from cache (%.0f%%)\n",
 		res.HotModules, res.ColdModules, 100*(1-res.HotFraction))
+	if res.IngestStats != nil {
+		fmt.Printf("\nfleet collection (%d hosts, %d ingest shards, modeled makespan %.3fs):\n",
+			opts.Fleet.Hosts, *fleetShard, res.IngestStats.ModeledMakespan(*fleetShard))
+		res.IngestStats.WriteText(os.Stdout)
+	}
 	fmt.Printf("baseline : cycles=%d ipc=%.3f taken=%d l1i=%d itlb=%d\n",
 		baseRes.Cycles, baseRes.IPC(), baseRes.Counters.TakenBranch, baseRes.Counters.L1IMiss, baseRes.Counters.ITLBMiss)
 	fmt.Printf("propeller: cycles=%d ipc=%.3f taken=%d l1i=%d itlb=%d\n",

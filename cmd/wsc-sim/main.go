@@ -6,7 +6,14 @@
 //
 //	wsc-sim app.wb
 //	wsc-sim -record prof.lbr -lbr-period 211 app.wb      # perf record -b
+//	wsc-sim -record prof.lbr -hosts 4 app.wb             # fleet: prof.lbr.0 .. prof.lbr.3
 //	wsc-sim -heatmap heat.csv app.wb                     # Fig 7 data
+//
+// -hosts N emulates fleet collection: the workload runs once per host
+// with a distinct LBR sampling phase (independently-timed production
+// machines observe different slices of the same execution), writing one
+// profile shard per host as <record>.<host>. Feed the shards to wsc-wpa
+// with repeated -profile flags, or to the fleet ingestion service.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"propeller/internal/heatmap"
 	"propeller/internal/objfile"
+	"propeller/internal/profile"
 	"propeller/internal/sim"
 )
 
@@ -23,6 +31,7 @@ func main() {
 	var (
 		record    = flag.String("record", "", "write an LBR profile to this file")
 		lbrPeriod = flag.Uint64("lbr-period", 211, "instructions between LBR samples")
+		hosts     = flag.Int("hosts", 1, "fleet collection: run once per host (distinct LBR phases), writing <record>.<host> shards")
 		maxInsts  = flag.Uint64("max-insts", 2_000_000_000, "instruction budget")
 		heatOut   = flag.String("heatmap", "", "write a Fig-7 heat map CSV to this file")
 		heatASCII = flag.Bool("heatmap-ascii", false, "render the heat map as text")
@@ -32,6 +41,9 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fatalf("usage: wsc-sim [flags] app.wb")
+	}
+	if *hosts > 1 && *record == "" {
+		fatalf("-hosts needs -record (per-host profile shards)")
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -68,16 +80,36 @@ func main() {
 	fmt.Printf("T1(itlb_miss)=%d T2(stlb_miss)=%d B1(baclears)=%d B2(taken)=%d mispred=%d dsb_miss=%d\n",
 		c.ITLBMiss, c.STLBMiss, c.Baclears, c.TakenBranch, c.Mispredicts, c.DSBMiss)
 	if *record != "" {
-		f, err := os.Create(*record)
-		if err != nil {
-			fatalf("%v", err)
+		if *hosts > 1 {
+			// Host 0's profile comes from the run above (phase 0); the
+			// remaining hosts re-run with shifted sampling phases.
+			writeShard(*record, 0, flag.Arg(0), res.Profile)
+			for h := 1; h < *hosts; h++ {
+				hostMach, err := sim.Load(bin)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				hostCfg := cfg
+				hostCfg.Heatmap = nil
+				hostCfg.LBRPhase = uint64(h)
+				hres, err := hostMach.Run(hostCfg)
+				if err != nil {
+					fatalf("host %d run failed: %v", h, err)
+				}
+				writeShard(*record, h, flag.Arg(0), hres.Profile)
+			}
+		} else {
+			f, err := os.Create(*record)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			res.Profile.Binary = flag.Arg(0)
+			if err := res.Profile.Write(f); err != nil {
+				fatalf("%v", err)
+			}
+			f.Close()
+			fmt.Printf("wrote %d LBR samples to %s\n", len(res.Profile.Samples), *record)
 		}
-		res.Profile.Binary = flag.Arg(0)
-		if err := res.Profile.Write(f); err != nil {
-			fatalf("%v", err)
-		}
-		f.Close()
-		fmt.Printf("wrote %d LBR samples to %s\n", len(res.Profile.Samples), *record)
 	}
 	if heat != nil {
 		if *heatOut != "" {
@@ -93,6 +125,20 @@ func main() {
 			heat.RenderASCII(os.Stdout, true)
 		}
 	}
+}
+
+func writeShard(base string, host int, binName string, prof *profile.Profile) {
+	path := fmt.Sprintf("%s.%d", base, host)
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prof.Binary = binName
+	if err := prof.Write(f); err != nil {
+		fatalf("%v", err)
+	}
+	f.Close()
+	fmt.Printf("host %d: wrote %d LBR samples to %s\n", host, len(prof.Samples), path)
 }
 
 func fatalf(format string, args ...any) {

@@ -6,8 +6,15 @@
 // Usage:
 //
 //	wsc-wpa -binary pm.wb -profile prof.lbr -cc cc_prof.txt -ld ld_prof.txt
+//	wsc-wpa -profile a.lbr -profile b.lbr ...   # merge fleet profile shards
 //	wsc-wpa -interproc ...        # §4.7 inter-procedural layout
 //	wsc-wpa -workers 8 ...        # §4.7 parallel analysis (0 = all cores)
+//	wsc-wpa -ignore-build-id ...  # accept profiles from a different build
+//
+// -profile may be repeated (e.g. the per-host shards wsc-sim -hosts
+// emits); the shards are merged deterministically in argument order
+// before analysis. Profiles recorded against a different binary (build-ID
+// mismatch) are rejected unless -ignore-build-id is given.
 //
 // The analysis is parallel by default (sharded sample aggregation plus a
 // worker pool for the per-function layouts) and bit-identical at every
@@ -29,10 +36,19 @@ import (
 	"propeller/internal/wpa"
 )
 
+// profileList collects repeated -profile flags in order.
+type profileList []string
+
+func (p *profileList) String() string { return fmt.Sprint([]string(*p)) }
+func (p *profileList) Set(s string) error {
+	*p = append(*p, s)
+	return nil
+}
+
 func main() {
+	var profPaths profileList
 	var (
 		binPath   = flag.String("binary", "", "metadata (PM) binary")
-		profPath  = flag.String("profile", "", "LBR profile from wsc-sim -record")
 		ccOut     = flag.String("cc", "cc_prof.txt", "cluster directives output")
 		ldOut     = flag.String("ld", "ld_prof.txt", "symbol ordering output")
 		interProc = flag.Bool("interproc", false, "inter-procedural layout (§4.7)")
@@ -40,10 +56,12 @@ func main() {
 		hot       = flag.Uint64("hot-threshold", 1, "minimum block samples to be hot")
 		noChunk   = flag.Bool("no-chunked-read", false, "materialize the whole profile instead of streaming it (§5.1)")
 		workers   = flag.Int("workers", 0, "analysis parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
+		ignoreBID = flag.Bool("ignore-build-id", false, "accept profiles whose build ID does not match the binary")
 	)
+	flag.Var(&profPaths, "profile", "LBR profile from wsc-sim -record (repeat to merge fleet shards)")
 	flag.Parse()
-	if *binPath == "" || *profPath == "" {
-		fatalf("usage: wsc-wpa -binary pm.wb -profile prof.lbr [-cc out] [-ld out] [-workers n]")
+	if *binPath == "" || len(profPaths) == 0 {
+		fatalf("usage: wsc-wpa -binary pm.wb -profile prof.lbr [-profile more.lbr ...] [-cc out] [-ld out] [-workers n]")
 	}
 	binData, err := os.ReadFile(*binPath)
 	if err != nil {
@@ -60,19 +78,42 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	pf, err := os.Open(*profPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
 	cfg := wpa.Config{
-		InterProc:    *interProc,
-		NaiveExtTSP:  *naive,
-		HotThreshold: *hot,
-		Workers:      *workers,
+		InterProc:     *interProc,
+		NaiveExtTSP:   *naive,
+		HotThreshold:  *hot,
+		Workers:       *workers,
+		BuildID:       bin.BuildID,
+		IgnoreBuildID: *ignoreBID,
 	}
 	var res *wpa.Result
-	if *noChunk {
-		prof, err := profile.Read(pf)
+	switch {
+	case len(profPaths) > 1:
+		// Fleet shards: read every profile, merge deterministically in
+		// argument order, and analyze the merged result.
+		profs := make([]*profile.Profile, len(profPaths))
+		for i, path := range profPaths {
+			pf, err := os.Open(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			profs[i], err = profile.Read(pf)
+			pf.Close()
+			if err != nil {
+				fatalf("%s: %v", path, err)
+			}
+		}
+		merged, err := profile.Merge(profs...)
+		if err != nil {
+			fatalf("merge: %v", err)
+		}
+		fmt.Printf("wsc-wpa: merged %d profile shards (%d samples)\n", len(profs), len(merged.Samples))
+		res, err = wpa.Analyze(m, merged, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case *noChunk:
+		prof, err := readOne(profPaths[0])
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -80,13 +121,17 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-	} else {
+	default:
+		pf, err := os.Open(profPaths[0])
+		if err != nil {
+			fatalf("%v", err)
+		}
 		res, err = wpa.AnalyzeStream(m, pf, cfg)
+		pf.Close()
 		if err != nil {
 			fatalf("%v", err)
 		}
 	}
-	pf.Close()
 	cc, err := os.Create(*ccOut)
 	if err != nil {
 		fatalf("%v", err)
@@ -112,6 +157,15 @@ func main() {
 		st.Workers, st.LayoutWorkers, st.LayoutShards,
 		ms(st.AggregateWall), ms(st.MergeWall), ms(st.LayoutWall), st.AnalysisSeconds*1e3)
 	fmt.Printf("wsc-wpa: wrote %s and %s\n", *ccOut, *ldOut)
+}
+
+func readOne(path string) (*profile.Profile, error) {
+	pf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	return profile.Read(pf)
 }
 
 func fatalf(format string, args ...any) {

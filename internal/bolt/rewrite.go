@@ -305,6 +305,7 @@ func (b *boltCtx) rewrite(funcs []*dFunc) (*objfile.Binary, error) {
 		extra = binary.LittleEndian.AppendUint64(extra, newPad)
 	}
 	out.LSDA = append(out.LSDA, extra...)
+	out.BuildID = out.ComputeBuildID()
 	return out, nil
 }
 

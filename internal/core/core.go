@@ -23,6 +23,7 @@ import (
 	"propeller/internal/bbaddrmap"
 	"propeller/internal/buildsys"
 	"propeller/internal/codegen"
+	"propeller/internal/fleetprof"
 	"propeller/internal/ir"
 	"propeller/internal/layoutfile"
 	"propeller/internal/linker"
@@ -99,6 +100,13 @@ type Options struct {
 
 	// WPA carries additional analyzer knobs.
 	WPA wpa.Config
+
+	// Fleet, when non-nil, switches Phase 3's profiling half to
+	// fleet-scale collection: Hosts simulated machines each run the
+	// training workload with a distinct LBR phase and stream sample
+	// batches through the fleetprof ingestion service; the merged fleet
+	// profile feeds the analyzer through its streaming reader.
+	Fleet *FleetOptions
 }
 
 func (o Options) executor() *buildsys.Executor {
@@ -141,6 +149,9 @@ type Result struct {
 
 	// PrefetchDirectives are the §3.5 insertion sites (when enabled).
 	PrefetchDirectives prefetch.Directives
+
+	// IngestStats carries the fleet collection accounting (fleet mode).
+	IngestStats *fleetprof.IngestStats
 
 	HotModules  int
 	ColdModules int
@@ -406,6 +417,9 @@ func Analyze(bin *objfile.Binary, prof *profile.Profile, opts Options) (*wpa.Res
 	}
 	cfg := opts.WPA
 	cfg.InterProc = cfg.InterProc || opts.InterProc
+	if cfg.BuildID == "" {
+		cfg.BuildID = bin.BuildID
+	}
 	return wpa.Analyze(m, prof, cfg)
 }
 
@@ -531,13 +545,34 @@ func Optimize(p *Program, train RunSpec, opts Options) (*Result, error) {
 	}
 	irKeys := Phase1CacheIR(p, opts.IRCache) // idempotent: same keys
 
-	// Phase 3.
-	prof, trainRun, err := CollectProfile(meta.Binary, train, opts.SoftwarePrefetch)
-	if err != nil {
-		return nil, fmt.Errorf("core: profiling run failed: %w", err)
+	// Phase 3. Fleet mode gathers the profile from many simulated hosts
+	// through the ingestion service and analyzes it through the streaming
+	// reader; single-host mode keeps the direct path.
+	var prof *profile.Profile
+	var trainRun *sim.Result
+	var ingest *fleetprof.IngestStats
+	if opts.Fleet != nil {
+		var st fleetprof.IngestStats
+		var err error
+		prof, trainRun, st, err = CollectFleetProfile(meta.Binary, train, *opts.Fleet, opts.SoftwarePrefetch)
+		if err != nil {
+			return nil, err
+		}
+		ingest = &st
+	} else {
+		var err error
+		prof, trainRun, err = CollectProfile(meta.Binary, train, opts.SoftwarePrefetch)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling run failed: %w", err)
+		}
 	}
 	analyzeStart := time.Now()
-	wres, err := Analyze(meta.Binary, prof, opts)
+	var wres *wpa.Result
+	if opts.Fleet != nil {
+		wres, err = AnalyzeStreamed(meta.Binary, prof, opts)
+	} else {
+		wres, err = Analyze(meta.Binary, prof, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -566,6 +601,7 @@ func Optimize(p *Program, train RunSpec, opts Options) (*Result, error) {
 		Optimized:          optimized,
 		AnalyzeWall:        analyzeWall,
 		PrefetchDirectives: pfd,
+		IngestStats:        ingest,
 		Profile:            prof,
 		TrainRun:           trainRun,
 		Directives:         wres.Directives,

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/fleetprof"
+	"propeller/internal/objfile"
+	"propeller/internal/profile"
+	"propeller/internal/sim"
+	"propeller/internal/wpa"
+)
+
+// FleetOptions switch Phase 3's profiling half from one training run to
+// fleet-scale collection (§2, §3.1): Hosts simulated machines each run the
+// workload with a distinct LBR sampling phase and stream their sample
+// batches through the fleetprof transport into a sharded ingestion
+// service; the merged fleet profile then feeds the whole-program analysis.
+type FleetOptions struct {
+	// Hosts is the number of simulated collector machines (default 4).
+	Hosts int
+	// Shards/WorkersPerShard/QueueDepth size the ingestion service.
+	Shards          int
+	WorkersPerShard int
+	QueueDepth      int
+	// LossRate/DupRate/Seed configure the transport's fault model.
+	LossRate float64
+	DupRate  float64
+	Seed     uint64
+	// BatchSamples is the collector batch size (default 64).
+	BatchSamples int
+	// Gate is the admission policy; a zero Gate admits any profile.
+	Gate fleetprof.Gate
+}
+
+func (f FleetOptions) hosts() int {
+	if f.Hosts < 1 {
+		return 4
+	}
+	return f.Hosts
+}
+
+// CollectFleetProfile is the fleet-mode Phase 3 front half: run the
+// metadata binary on every simulated host (distinct LBR phases), ship the
+// per-host samples through the fleetprof pipeline, and return the merged
+// profile. Host 0's run doubles as the training run whose cache-miss
+// profile feeds §3.5. The returned stats carry the full ingestion
+// accounting, including any rejected or duplicated batches.
+func CollectFleetProfile(bin *objfile.Binary, spec RunSpec, fo FleetOptions, trackMisses bool) (*profile.Profile, *sim.Result, fleetprof.IngestStats, error) {
+	hosts := fo.hosts()
+	profiles := make([]*profile.Profile, hosts)
+	results := make([]*sim.Result, hosts)
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			// Each host loads its own machine: sim.Machine is not safe for
+			// concurrent runs (shared decode cache).
+			mach, err := sim.Load(bin)
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			res, err := mach.Run(sim.Config{
+				MaxInsts:        spec.MaxInsts,
+				LBRPeriod:       spec.lbrPeriod(),
+				LBRPhase:        uint64(h),
+				Args:            spec.Args,
+				TrackLoadMisses: trackMisses && h == 0,
+			})
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			res.Profile.Binary = "pm"
+			profiles[h] = res.Profile
+			results[h] = res
+		}(h)
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			return nil, nil, fleetprof.IngestStats{}, fmt.Errorf("core: fleet host %d run failed: %w", h, err)
+		}
+	}
+
+	svc := fleetprof.NewService(fleetprof.ServiceConfig{
+		Shards:          fo.Shards,
+		WorkersPerShard: fo.WorkersPerShard,
+		QueueDepth:      fo.QueueDepth,
+		BuildID:         bin.BuildID,
+	})
+	collectors := make([]*fleetprof.Collector, hosts)
+	for h := 0; h < hosts; h++ {
+		collectors[h] = &fleetprof.Collector{
+			Host:         h,
+			Profile:      profiles[h],
+			BatchSamples: fo.BatchSamples,
+		}
+	}
+	st, err := fleetprof.RunFleet(collectors, fleetprof.Transport{
+		LossRate: fo.LossRate,
+		DupRate:  fo.DupRate,
+		Seed:     fo.Seed,
+	}, svc)
+	if err != nil {
+		return nil, nil, st, fmt.Errorf("core: fleet collection failed: %w", err)
+	}
+
+	// Admission gate: refuse to relink on a profile that is too thin.
+	var lk *bbaddrmap.Lookup
+	if bin.BBAddrMap != nil {
+		if m, err := bbaddrmap.Decode(bin.BBAddrMap); err == nil {
+			lk = bbaddrmap.NewLookup(m)
+		}
+	}
+	if rep := svc.Ready(fo.Gate, lk, hosts); !rep.Ready {
+		return nil, nil, st, fmt.Errorf("core: fleet profile below admission gate: %s", rep.Reason)
+	}
+
+	merged, err := svc.MergedProfile()
+	if err != nil {
+		return nil, nil, st, err
+	}
+	return merged, results[0], st, nil
+}
+
+// AnalyzeStreamed is the fleet-mode WPA entry: the merged profile goes to
+// the analyzer through its streaming reader — the same path a profile
+// fetched from fleet profile storage takes — with the binary's build ID
+// enforced at the header.
+func AnalyzeStreamed(bin *objfile.Binary, prof *profile.Profile, opts Options) (*wpa.Result, error) {
+	if bin.BBAddrMap == nil {
+		return nil, fmt.Errorf("core: binary has no BB address map; build with metadata first")
+	}
+	m, err := bbaddrmap.Decode(bin.BBAddrMap)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.WPA
+	cfg.InterProc = cfg.InterProc || opts.InterProc
+	if cfg.BuildID == "" {
+		cfg.BuildID = bin.BuildID
+	}
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err != nil {
+		return nil, err
+	}
+	return wpa.AnalyzeStream(m, &buf, cfg)
+}

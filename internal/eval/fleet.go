@@ -1,0 +1,193 @@
+package eval
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"propeller/internal/core"
+	"propeller/internal/fleetprof"
+	"propeller/internal/objfile"
+	"propeller/internal/profile"
+	"propeller/internal/sim"
+	"propeller/internal/workload"
+)
+
+// FleetSweepConfig sizes the fleet-collection scaling sweep: how many
+// simulated collector hosts feed the ingestion service, at which shard
+// counts, under which transport loss rates.
+type FleetSweepConfig struct {
+	Spec       workload.Spec
+	TrainInsts uint64
+	LBRPeriod  uint64
+
+	Hosts     []int     // default {1, 4, 16, 64}
+	Shards    []int     // default {1, 2, 4, 8}
+	LossRates []float64 // default {0, 0.2}
+
+	// WorkersPerShard is the ingest parallelism behind each queue
+	// (default 2).
+	WorkersPerShard int
+	// BatchSamples is the collector batch size (default 32).
+	BatchSamples int
+}
+
+func (c FleetSweepConfig) hosts() []int {
+	if len(c.Hosts) == 0 {
+		return []int{1, 4, 16, 64}
+	}
+	return c.Hosts
+}
+
+func (c FleetSweepConfig) shards() []int {
+	if len(c.Shards) == 0 {
+		return []int{1, 2, 4, 8}
+	}
+	return c.Shards
+}
+
+func (c FleetSweepConfig) lossRates() []float64 {
+	if len(c.LossRates) == 0 {
+		return []float64{0, 0.2}
+	}
+	return c.LossRates
+}
+
+// FleetPoint is one point of the BENCH_fleetprof.json curve.
+type FleetPoint struct {
+	Hosts    int     `json:"hosts"`
+	Shards   int     `json:"shards"`
+	LossRate float64 `json:"lossRate"`
+
+	AcceptedBatches  int64 `json:"acceptedBatches"`
+	AcceptedSamples  int64 `json:"acceptedSamples"`
+	DuplicateBatches int64 `json:"duplicateBatches"`
+	LostDeliveries   int64 `json:"lostDeliveries"`
+	RetriedSends     int64 `json:"retriedSends"`
+
+	// MakespanSeconds is the modeled collection+ingestion wall time at
+	// this shard count (monotone non-increasing in Shards by model).
+	MakespanSeconds float64 `json:"makespanSeconds"`
+	// MergedSHA256 fingerprints the merged profile bytes: equal across
+	// every shard count and loss rate at the same host count.
+	MergedSHA256 string `json:"mergedSHA256"`
+}
+
+// FleetSweep runs the fleet ingestion scaling study: a small workload is
+// built with metadata once, each of maxHosts simulated machines profiles
+// it once (distinct LBR phases), and then every (hosts, shards, loss)
+// cell replays collection through a fresh ingestion service. Per-host
+// profiles are generated once and prefix-sliced per host count, so the
+// sweep isolates ingestion behavior from simulation cost.
+func FleetSweep(cfg FleetSweepConfig) ([]FleetPoint, *objfile.Binary, error) {
+	prog, err := workload.Generate(cfg.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := core.BuildWithMetadata(prog.Core, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	bin := meta.Binary
+
+	trainInsts := cfg.TrainInsts
+	if trainInsts == 0 {
+		trainInsts = 2_000_000
+	}
+	period := cfg.LBRPeriod
+	if period == 0 {
+		period = 211
+	}
+	maxHosts := 0
+	for _, h := range cfg.hosts() {
+		if h > maxHosts {
+			maxHosts = h
+		}
+	}
+
+	profiles := make([]*profile.Profile, maxHosts)
+	errs := make([]error, maxHosts)
+	var wg sync.WaitGroup
+	for h := 0; h < maxHosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			mach, err := sim.Load(bin)
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			res, err := mach.Run(sim.Config{
+				MaxInsts:  trainInsts,
+				LBRPeriod: period,
+				LBRPhase:  uint64(h),
+			})
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			res.Profile.Binary = "pm"
+			profiles[h] = res.Profile
+		}(h)
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("eval: fleet host %d run failed: %w", h, err)
+		}
+	}
+
+	var points []FleetPoint
+	for _, hosts := range cfg.hosts() {
+		for _, loss := range cfg.lossRates() {
+			for _, shards := range cfg.shards() {
+				svc := fleetprof.NewService(fleetprof.ServiceConfig{
+					Shards:          shards,
+					WorkersPerShard: cfg.WorkersPerShard,
+					BuildID:         bin.BuildID,
+					QueueDepth:      256, // generous: the sweep measures modeled time, not real stalls
+				})
+				collectors := make([]*fleetprof.Collector, hosts)
+				for h := 0; h < hosts; h++ {
+					collectors[h] = &fleetprof.Collector{
+						Host:         h,
+						Profile:      profiles[h],
+						BatchSamples: cfg.BatchSamples,
+					}
+				}
+				st, err := fleetprof.RunFleet(collectors, fleetprof.Transport{
+					LossRate: loss,
+					DupRate:  loss / 2,
+					Seed:     7,
+				}, svc)
+				if err != nil {
+					return nil, nil, fmt.Errorf("eval: fleet hosts=%d shards=%d loss=%g: %w", hosts, shards, loss, err)
+				}
+				merged, err := svc.MergedProfile()
+				if err != nil {
+					return nil, nil, err
+				}
+				var buf bytes.Buffer
+				if err := merged.Write(&buf); err != nil {
+					return nil, nil, err
+				}
+				sum := sha256.Sum256(buf.Bytes())
+				points = append(points, FleetPoint{
+					Hosts:            hosts,
+					Shards:           shards,
+					LossRate:         loss,
+					AcceptedBatches:  st.AcceptedBatches,
+					AcceptedSamples:  st.AcceptedSamples,
+					DuplicateBatches: st.DuplicateBatches,
+					LostDeliveries:   st.LostDeliveries,
+					RetriedSends:     st.RetriedSends,
+					MakespanSeconds:  st.ModeledMakespan(shards),
+					MergedSHA256:     hex.EncodeToString(sum[:]),
+				})
+			}
+		}
+	}
+	return points, bin, nil
+}

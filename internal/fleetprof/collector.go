@@ -1,0 +1,256 @@
+package fleetprof
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"propeller/internal/profile"
+)
+
+// Modeled cost constants for the collection/ingestion tier. Same style as
+// the core phase model: small constants that make relative comparisons
+// (shard scaling, loss overhead) meaningful without real network time.
+const (
+	// SendLatencySeconds is the per-delivery-attempt network latency.
+	SendLatencySeconds = 1e-3
+	// SendPerByteSeconds models payload serialization + wire time.
+	SendPerByteSeconds = 2e-9
+	// RetryTimeoutSeconds is the client timeout charged for each lost
+	// delivery before it retries.
+	RetryTimeoutSeconds = 10e-3
+	// IngestBatchBaseSeconds is the per-batch decode/validate overhead.
+	IngestBatchBaseSeconds = 200e-6
+	// IngestPerRecordSeconds is the per-LBR-record aggregation cost.
+	IngestPerRecordSeconds = 2e-7
+)
+
+// Transport is the in-process fleet network model. Loss and duplication
+// are decided by a deterministic hash of (seed, host, seq, attempt) — not
+// by a shared RNG — so the fault pattern a batch sees is a pure function
+// of its identity, independent of goroutine scheduling and of how many
+// queue-full retries the client needed. That keeps every modeled quantity
+// bit-reproducible under -race at any worker count.
+type Transport struct {
+	// LossRate in [0,1) is the probability a delivery attempt is lost in
+	// transit (the client times out and resends).
+	LossRate float64
+	// DupRate in [0,1) is the probability the network delivers an extra
+	// copy of a batch (e.g. a timeout-resend crossing a late ack).
+	DupRate float64
+	// Seed perturbs the fault pattern; same seed, same faults.
+	Seed uint64
+	// MaxLostAttempts caps consecutive modeled losses per batch
+	// (default 16) so pathological rates still terminate.
+	MaxLostAttempts int
+}
+
+func (t Transport) maxLost() int {
+	if t.MaxLostAttempts < 1 {
+		return 16
+	}
+	return t.MaxLostAttempts
+}
+
+// plan returns the deterministic fault plan for one batch: how many
+// delivery attempts are lost before one succeeds, and whether the network
+// duplicates the successful delivery.
+func (t Transport) plan(host, seq int) (lost int, dup bool) {
+	if t.LossRate > 0 {
+		for lost < t.maxLost() {
+			h := splitmix64(t.Seed ^ uint64(host)<<40 ^ uint64(uint32(seq))<<8 ^ uint64(lost))
+			if hashFrac(h) >= t.LossRate {
+				break
+			}
+			lost++
+		}
+	}
+	if t.DupRate > 0 {
+		h := splitmix64(t.Seed ^ 0xd1b54a32d192ed03 ^ uint64(host)<<40 ^ uint64(uint32(seq))<<8)
+		dup = hashFrac(h) < t.DupRate
+	}
+	return lost, dup
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashFrac maps a hash to [0,1) with 53 uniform bits.
+func hashFrac(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Collector is one simulated production host shipping its LBR samples to
+// the ingestion service in sequenced batches.
+type Collector struct {
+	// Host is this collector's fleet-unique identity; with Seq it forms
+	// the idempotency key on every batch.
+	Host int
+	// Profile holds the host's local samples (from a sim run with this
+	// host's LBRPhase).
+	Profile *profile.Profile
+	// BatchSamples is the number of samples per batch (default 64).
+	BatchSamples int
+	// Backoff is the initial real sleep after a queue-full reject
+	// (default 100µs, doubling up to 100× initial).
+	Backoff time.Duration
+	// MaxRetries bounds queue-full retries per batch (default 10000);
+	// exceeding it is a hard error, the fleet run does not silently drop.
+	MaxRetries int
+}
+
+// CollectorStats is one host's client-side accounting.
+type CollectorStats struct {
+	Sent    int64 // batches accepted into a queue at least once
+	Retried int64 // resends: lost-delivery retries + queue-full retries
+	Lost    int64 // delivery attempts lost in transit (modeled)
+	Dup     int64 // extra copies the network delivered
+	// StallSeconds is real time spent sleeping in queue-full backoff.
+	StallSeconds float64
+	// ModeledSendSeconds is this host's deterministic send-path time:
+	// per-attempt latency + wire time, plus a timeout charge per lost
+	// attempt. Queue-full retries do not contribute (they are real
+	// scheduling noise, not part of the reproducible model).
+	ModeledSendSeconds float64
+}
+
+func (c *Collector) batchSamples() int {
+	if c.BatchSamples < 1 {
+		return 64
+	}
+	return c.BatchSamples
+}
+
+func (c *Collector) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return 100 * time.Microsecond
+	}
+	return c.Backoff
+}
+
+func (c *Collector) maxRetries() int {
+	if c.MaxRetries < 1 {
+		return 10000
+	}
+	return c.MaxRetries
+}
+
+// Run batches the host's profile and ships every batch through the
+// transport to the service, honoring backpressure. It returns when all
+// batches have been accepted into a queue (dedup upstream discards any
+// extras) or fails hard after MaxRetries on a full queue.
+func (c *Collector) Run(t Transport, svc *Service) (CollectorStats, error) {
+	var st CollectorStats
+	p := c.Profile
+	if p == nil {
+		return st, fmt.Errorf("fleetprof: collector host %d has no profile", c.Host)
+	}
+	bs := c.batchSamples()
+	for seq, off := 0, 0; off < len(p.Samples) || (off == 0 && seq == 0); seq, off = seq+1, off+bs {
+		end := off + bs
+		if end > len(p.Samples) {
+			end = len(p.Samples)
+		}
+		chunk := &profile.Profile{
+			Binary:  p.Binary,
+			BuildID: p.BuildID,
+			Period:  p.Period,
+			Samples: p.Samples[off:end],
+		}
+		var buf bytes.Buffer
+		if err := chunk.Write(&buf); err != nil {
+			return st, fmt.Errorf("fleetprof: host %d batch %d: %w", c.Host, seq, err)
+		}
+		payload := buf.Bytes()
+
+		lost, dup := t.plan(c.Host, seq)
+		st.Lost += int64(lost)
+		st.Retried += int64(lost)
+		attemptCost := SendLatencySeconds + float64(len(payload))*SendPerByteSeconds
+		st.ModeledSendSeconds += float64(lost+1)*attemptCost + float64(lost)*RetryTimeoutSeconds
+
+		if err := c.deliver(svc, Batch{Host: c.Host, Seq: seq, Payload: payload}, &st); err != nil {
+			return st, err
+		}
+		st.Sent++
+		if dup {
+			st.Dup++
+			// A network-duplicated copy: best-effort, never retried. If
+			// the queue is full the duplicate simply vanishes — the
+			// original already made it in.
+			_ = svc.Submit(Batch{Host: c.Host, Seq: seq, Payload: payload})
+		}
+	}
+	return st, nil
+}
+
+// deliver submits one batch with exponential backoff on queue-full.
+func (c *Collector) deliver(svc *Service, b Batch, st *CollectorStats) error {
+	backoff := c.backoff()
+	maxBackoff := 100 * c.backoff()
+	for r := 0; ; r++ {
+		err := svc.Submit(b)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return err
+		}
+		if r >= c.maxRetries() {
+			return fmt.Errorf("fleetprof: host %d batch %d: queue full after %d retries", b.Host, b.Seq, r)
+		}
+		st.Retried++
+		st.StallSeconds += backoff.Seconds()
+		time.Sleep(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// RunFleet runs every collector concurrently against the service, drains
+// the queues, and folds the client-side stats into the service's. The
+// returned stats are final. Collector errors are reported lowest-host
+// first so failures are deterministic too.
+func RunFleet(collectors []*Collector, t Transport, svc *Service) (IngestStats, error) {
+	errs := make([]error, len(collectors))
+	var wg sync.WaitGroup
+	for i, c := range collectors {
+		wg.Add(1)
+		go func(i int, c *Collector) {
+			defer wg.Done()
+			cs, err := c.Run(t, svc)
+			svc.foldClient(cs)
+			errs[i] = err
+		}(i, c)
+	}
+	wg.Wait()
+	svc.Drain()
+	for _, err := range errs {
+		if err != nil {
+			return svc.Stats(), err
+		}
+	}
+	return svc.Stats(), nil
+}
+
+// ModeledMakespan is the modeled wall time of the fleet run at the given
+// shard count: the slowest host's send path, then the ingest work divided
+// across shards — floored by the single largest batch, which no amount of
+// sharding subdivides. Monotone non-increasing in shards by construction.
+func (st IngestStats) ModeledMakespan(shards int) float64 {
+	if shards < 1 {
+		shards = 1
+	}
+	ingest := st.ModeledIngestSeconds / float64(shards)
+	if st.MaxBatchIngestSeconds > ingest {
+		ingest = st.MaxBatchIngestSeconds
+	}
+	return st.MaxHostSendSeconds + ingest
+}

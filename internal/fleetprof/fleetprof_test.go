@@ -1,0 +1,287 @@
+package fleetprof
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"propeller/internal/profile"
+)
+
+// hostProfile builds a deterministic synthetic profile for one host:
+// nSamples LBR samples whose branch addresses encode (host, index) so
+// merged output uniquely identifies every sample's origin.
+func hostProfile(host, nSamples int, buildID string) *profile.Profile {
+	p := &profile.Profile{Binary: "testbin", BuildID: buildID, Period: 1000}
+	for i := 0; i < nSamples; i++ {
+		var s profile.Sample
+		for r := 0; r < 3; r++ {
+			base := uint64(host)<<32 | uint64(i)<<8 | uint64(r)
+			s.Records = append(s.Records, profile.Branch{From: base, To: base + 4})
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p
+}
+
+func fleet(hosts, nSamples int, buildID string, batch int) []*Collector {
+	var cs []*Collector
+	for h := 0; h < hosts; h++ {
+		cs = append(cs, &Collector{Host: h, Profile: hostProfile(h, nSamples, buildID), BatchSamples: batch})
+	}
+	return cs
+}
+
+func encodeProfile(t *testing.T, p *profile.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergedProfileBitIdentical is the core determinism claim: the merged
+// fleet profile is byte-identical at every shard/worker count and under
+// injected loss and duplication.
+func TestMergedProfileBitIdentical(t *testing.T) {
+	const hosts, samples = 7, 50
+	var want []byte
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 2, 4} {
+			for _, faults := range []Transport{
+				{},
+				{LossRate: 0.3, DupRate: 0.3, Seed: 42},
+			} {
+				name := fmt.Sprintf("shards=%d workers=%d loss=%.1f", shards, workers, faults.LossRate)
+				svc := NewService(ServiceConfig{Shards: shards, WorkersPerShard: workers})
+				st, err := RunFleet(fleet(hosts, samples, "bid", 8), faults, svc)
+				if err != nil {
+					t.Fatalf("%s: RunFleet: %v", name, err)
+				}
+				merged, err := svc.MergedProfile()
+				if err != nil {
+					t.Fatalf("%s: MergedProfile: %v", name, err)
+				}
+				if got := len(merged.Samples); got != hosts*samples {
+					t.Fatalf("%s: merged %d samples, want %d (stats: %+v)", name, got, hosts*samples, st)
+				}
+				enc := encodeProfile(t, merged)
+				if want == nil {
+					want = enc
+				} else if !bytes.Equal(enc, want) {
+					t.Fatalf("%s: merged profile bytes differ from baseline", name)
+				}
+				if faults.LossRate > 0 && st.LostDeliveries == 0 {
+					t.Fatalf("%s: expected some lost deliveries", name)
+				}
+				if faults.DupRate > 0 && st.DupDeliveries == 0 {
+					t.Fatalf("%s: expected some duplicated deliveries", name)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultInjectionNoDoubleCounting: duplicated deliveries must not
+// inflate sample counts; lost deliveries must not lose data.
+func TestFaultInjectionNoDoubleCounting(t *testing.T) {
+	const hosts, samples = 4, 40
+	svc := NewService(ServiceConfig{Shards: 2, WorkersPerShard: 2})
+	st, err := RunFleet(fleet(hosts, samples, "bid", 4), Transport{LossRate: 0.4, DupRate: 0.5, Seed: 7}, svc)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if st.AcceptedSamples != hosts*samples {
+		t.Fatalf("accepted %d samples, want %d", st.AcceptedSamples, hosts*samples)
+	}
+	if st.DupDeliveries == 0 {
+		t.Fatal("expected duplicated deliveries at DupRate=0.5")
+	}
+	if st.DuplicateBatches == 0 {
+		t.Fatal("expected server-side duplicate detections")
+	}
+	if st.LostDeliveries == 0 || st.RetriedSends < st.LostDeliveries {
+		t.Fatalf("lost=%d retried=%d: every lost delivery should be retried", st.LostDeliveries, st.RetriedSends)
+	}
+	// Duplicates were detected, never stored: accepted batch count is
+	// exactly the unique batch count.
+	wantBatches := int64(hosts * ((samples + 3) / 4))
+	if st.AcceptedBatches != wantBatches {
+		t.Fatalf("accepted %d batches, want %d", st.AcceptedBatches, wantBatches)
+	}
+}
+
+// TestBuildIDRejection: a host running a stale binary is rejected and
+// counted, and its samples never reach the merged profile.
+func TestBuildIDRejection(t *testing.T) {
+	svc := NewService(ServiceConfig{BuildID: "current"})
+	cs := fleet(3, 10, "current", 4)
+	cs[1].Profile = hostProfile(1, 10, "stale") // host 1 runs an old build
+	st, err := RunFleet(cs, Transport{}, svc)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if st.RejectedBuildID != 3 { // 10 samples / batch 4 = 3 batches
+		t.Fatalf("RejectedBuildID = %d, want 3", st.RejectedBuildID)
+	}
+	if st.AcceptedSamples != 20 {
+		t.Fatalf("accepted %d samples, want 20 (hosts 0 and 2 only)", st.AcceptedSamples)
+	}
+	merged, err := svc.MergedProfile()
+	if err != nil {
+		t.Fatalf("MergedProfile: %v", err)
+	}
+	for _, s := range merged.Samples {
+		if s.Records[0].From>>32 == 1 {
+			t.Fatal("merged profile contains samples from the rejected host")
+		}
+	}
+	if _, ok := st.HostBatches[1]; ok {
+		t.Fatal("rejected host should have no accepted batches in coverage map")
+	}
+}
+
+// TestBackpressure: a depth-1 queue with a slow worker forces queue-full
+// rejects and client retries, yet the run converges with every sample
+// counted exactly once.
+func TestBackpressure(t *testing.T) {
+	svc := NewService(ServiceConfig{QueueDepth: 1, IngestDelay: 200 * time.Microsecond})
+	st, err := RunFleet(fleet(4, 30, "bid", 2), Transport{}, svc)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if st.QueueFullRejects == 0 {
+		t.Fatal("expected queue-full rejects with depth-1 queue and slow worker")
+	}
+	if st.StallSeconds <= 0 {
+		t.Fatal("expected client stall time from backoff")
+	}
+	if st.AcceptedSamples != 4*30 {
+		t.Fatalf("accepted %d samples, want %d", st.AcceptedSamples, 4*30)
+	}
+}
+
+// TestCorruptBatchCounted: garbage payloads are counted, not crashed on.
+func TestCorruptBatchCounted(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	if err := svc.Submit(Batch{Host: 0, Seq: 0, Payload: []byte("garbage")}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	svc.Drain()
+	st := svc.Stats()
+	if st.CorruptBatches != 1 || st.AcceptedBatches != 0 {
+		t.Fatalf("corrupt=%d accepted=%d, want 1/0", st.CorruptBatches, st.AcceptedBatches)
+	}
+}
+
+// TestEmptyHostStillCovered: a host with no samples ships one empty batch
+// so coverage accounting sees it.
+func TestEmptyHostStillCovered(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	cs := []*Collector{{Host: 5, Profile: &profile.Profile{Binary: "b", BuildID: "bid", Period: 10}}}
+	st, err := RunFleet(cs, Transport{}, svc)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if st.HostBatches[5] != 1 {
+		t.Fatalf("HostBatches[5] = %d, want 1", st.HostBatches[5])
+	}
+}
+
+func TestGate(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	_, err := RunFleet(fleet(4, 25, "bid", 8), Transport{}, svc)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if rep := svc.Ready(Gate{MinSamples: 100}, nil, 4); !rep.Ready {
+		t.Fatalf("gate should open at 100 samples (have %d): %s", rep.Samples, rep.Reason)
+	}
+	if rep := svc.Ready(Gate{MinSamples: 101}, nil, 4); rep.Ready {
+		t.Fatal("gate should stay closed below MinSamples")
+	} else if !strings.Contains(rep.Reason, "samples") {
+		t.Fatalf("unexpected reason: %q", rep.Reason)
+	}
+	if rep := svc.Ready(Gate{MinHostCoverage: 0.9}, nil, 8); rep.Ready {
+		t.Fatal("gate should stay closed at 4/8 host coverage")
+	} else if rep.HostCoverage != 0.5 {
+		t.Fatalf("HostCoverage = %v, want 0.5", rep.HostCoverage)
+	}
+	if rep := svc.Ready(Gate{MinHostCoverage: 0.5}, nil, 8); !rep.Ready {
+		t.Fatalf("gate should open at exactly 0.5 coverage: %s", rep.Reason)
+	}
+}
+
+func TestStatusz(t *testing.T) {
+	svc := NewService(ServiceConfig{Shards: 2, BuildID: "abcdef0123456789abcdef"})
+	_, err := RunFleet(fleet(2, 10, "abcdef0123456789abcdef", 4), Transport{}, svc)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	var buf bytes.Buffer
+	svc.Statusz(&buf)
+	out := buf.String()
+	for _, want := range []string{"2 shards", "accepted=6", "samples: 20", "host 0", "host 1", "serving build ID"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("statusz missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMakespanMonotone: the modeled makespan must not increase with shard
+// count, and modeled quantities must be identical run to run.
+func TestMakespanMonotone(t *testing.T) {
+	var base IngestStats
+	for trial := 0; trial < 2; trial++ {
+		svc := NewService(ServiceConfig{Shards: 3, WorkersPerShard: 2})
+		st, err := RunFleet(fleet(8, 64, "bid", 8), Transport{LossRate: 0.2, Seed: 3}, svc)
+		if err != nil {
+			t.Fatalf("RunFleet: %v", err)
+		}
+		if trial == 0 {
+			base = st
+		} else {
+			if st.ModeledSendSeconds != base.ModeledSendSeconds ||
+				st.MaxHostSendSeconds != base.MaxHostSendSeconds ||
+				st.ModeledIngestSeconds != base.ModeledIngestSeconds ||
+				st.MaxBatchIngestSeconds != base.MaxBatchIngestSeconds {
+				t.Fatalf("modeled time not reproducible across runs:\n%+v\nvs\n%+v", base, st)
+			}
+		}
+		prev := st.ModeledMakespan(1)
+		for shards := 2; shards <= 16; shards *= 2 {
+			cur := st.ModeledMakespan(shards)
+			if cur > prev {
+				t.Fatalf("makespan increased from %g (shards=%d) to %g (shards=%d)", prev, shards/2, cur, shards)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestTransportPlanDeterministic: the fault plan is a pure function of
+// (seed, host, seq).
+func TestTransportPlanDeterministic(t *testing.T) {
+	tr := Transport{LossRate: 0.5, DupRate: 0.5, Seed: 99}
+	anyLost, anyDup := false, false
+	for host := 0; host < 10; host++ {
+		for seq := 0; seq < 10; seq++ {
+			l1, d1 := tr.plan(host, seq)
+			l2, d2 := tr.plan(host, seq)
+			if l1 != l2 || d1 != d2 {
+				t.Fatalf("plan(%d,%d) not deterministic", host, seq)
+			}
+			anyLost = anyLost || l1 > 0
+			anyDup = anyDup || d1
+		}
+	}
+	if !anyLost || !anyDup {
+		t.Fatal("expected both losses and dups at 0.5 rates over 100 batches")
+	}
+	if l, _ := (Transport{LossRate: 1, MaxLostAttempts: 5}).plan(0, 0); l != 5 {
+		t.Fatalf("loss cap: got %d lost attempts, want 5", l)
+	}
+}

@@ -1,0 +1,129 @@
+package integration_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"propeller/internal/core"
+	"propeller/internal/fleetprof"
+	"propeller/internal/layoutfile"
+	"propeller/internal/workload"
+)
+
+// TestFleetOptimize drives the whole pipeline in fleet-collection mode:
+// simulated hosts stream LBR batches through the sharded ingestion
+// service (with injected loss and duplication), the merged fleet profile
+// feeds the streaming analyzer, and Phase 4 relinks. The layout artifacts
+// must be byte-identical across ingestion shard counts — sharding the
+// collection tier must not change the optimized binary.
+func TestFleetOptimize(t *testing.T) {
+	prog, err := workload.Generate(workload.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := core.RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}
+
+	var baseline []byte
+	for _, shards := range []int{1, 4} {
+		opts := core.Options{
+			Fleet: &core.FleetOptions{
+				Hosts:    3,
+				Shards:   shards,
+				LossRate: 0.25,
+				DupRate:  0.25,
+				Seed:     5,
+				Gate:     fleetprof.Gate{MinSamples: 100, MinHotFuncs: 2, MinHostCoverage: 1},
+			},
+		}
+		res, err := core.Optimize(prog.Core, train, opts)
+		if err != nil {
+			t.Fatalf("shards=%d: fleet optimize: %v", shards, err)
+		}
+		if res.IngestStats == nil {
+			t.Fatalf("shards=%d: fleet mode should report ingestion stats", shards)
+		}
+		st := res.IngestStats
+		if st.AcceptedSamples == 0 || st.AcceptedBatches == 0 {
+			t.Fatalf("shards=%d: no samples ingested: %+v", shards, st)
+		}
+		if st.RejectedBuildID != 0 {
+			t.Fatalf("shards=%d: matching build IDs were rejected: %+v", shards, st)
+		}
+		if st.LostDeliveries == 0 || st.DupDeliveries == 0 {
+			t.Fatalf("shards=%d: fault injection had no effect: %+v", shards, st)
+		}
+		if len(st.HostBatches) != 3 {
+			t.Fatalf("shards=%d: want coverage from 3 hosts, got %d", shards, len(st.HostBatches))
+		}
+		if len(res.Directives) == 0 {
+			t.Fatalf("shards=%d: fleet profile produced no layout directives", shards)
+		}
+		var buf bytes.Buffer
+		if err := layoutfile.WriteDirectives(&buf, res.Directives); err != nil {
+			t.Fatal(err)
+		}
+		if err := layoutfile.WriteOrder(&buf, res.Order); err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = buf.Bytes()
+		} else if !bytes.Equal(buf.Bytes(), baseline) {
+			t.Fatalf("layout artifacts differ between 1 and %d ingestion shards", shards)
+		}
+	}
+}
+
+// TestFleetGateBlocksThinProfile: an admission gate the collected profile
+// cannot satisfy must abort the pipeline before Phase 4.
+func TestFleetGateBlocksThinProfile(t *testing.T) {
+	prog, err := workload.Generate(workload.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := core.RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}
+	opts := core.Options{
+		Fleet: &core.FleetOptions{
+			Hosts: 2,
+			Gate:  fleetprof.Gate{MinSamples: 1 << 40},
+		},
+	}
+	_, err = core.Optimize(prog.Core, train, opts)
+	if err == nil || !strings.Contains(err.Error(), "admission gate") {
+		t.Fatalf("want admission-gate error, got %v", err)
+	}
+}
+
+// TestAnalyzeRejectsStaleProfile: satellite check for build-ID matching on
+// the non-fleet path — a profile recorded against a different binary must
+// be refused by the analyzer unless IgnoreBuildID is set.
+func TestAnalyzeRejectsStaleProfile(t *testing.T) {
+	prog, err := workload.Generate(workload.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := core.BuildWithMetadata(prog.Core, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Binary.BuildID == "" {
+		t.Fatal("metadata binary has no build ID")
+	}
+	prof, _, err := core.CollectProfile(meta.Binary, core.RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.BuildID != meta.Binary.BuildID {
+		t.Fatalf("profile build ID %q does not match binary %q", prof.BuildID, meta.Binary.BuildID)
+	}
+
+	prof.BuildID = "0000deadbeef"
+	if _, err := core.Analyze(meta.Binary, prof, core.Options{}); err == nil || !strings.Contains(err.Error(), "build ID") {
+		t.Fatalf("want build-ID mismatch error, got %v", err)
+	}
+	opts := core.Options{}
+	opts.WPA.IgnoreBuildID = true
+	if _, err := core.Analyze(meta.Binary, prof, opts); err != nil {
+		t.Fatalf("IgnoreBuildID should override the mismatch: %v", err)
+	}
+}

@@ -548,6 +548,7 @@ func (ld *linkState) assemble() (*objfile.Binary, error) {
 		n += int64(len(bin.Relas)) * objfile.RelPC32.Size()
 		bin.RelaBytes = n
 	}
+	bin.BuildID = bin.ComputeBuildID()
 	return bin, nil
 }
 

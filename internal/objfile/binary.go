@@ -1,8 +1,11 @@
 package objfile
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"propeller/internal/buildsys"
 )
 
 // Default load addresses for executables. Text starts high enough that
@@ -41,6 +44,14 @@ type FinalReloc struct {
 // Binary is a linked executable image.
 type Binary struct {
 	Entry uint64 // address of the entry function
+
+	// BuildID is the content hash of the loaded image (text, rodata, data
+	// and their placement), the analog of the ELF build-id note: profiles
+	// collected on a binary carry it, and both the fleet collection tier
+	// and the whole-program analyzer match on it. The linker stamps it;
+	// Strip keeps it (like a real build-id note, it identifies the code
+	// image, not the strippable metadata).
+	BuildID string
 
 	TextBase   uint64
 	Text       []byte
@@ -91,6 +102,21 @@ type Binary struct {
 	// unloaded hole over the old rodata/data region; the hole occupies
 	// address space, not file bytes.
 	TextFileBytes int64
+}
+
+// ComputeBuildID hashes the loaded image into a content address, reusing
+// the build system's length-prefixed sha256 key discipline so the same
+// bytes always produce the same identity. Non-loaded metadata (BB address
+// map, relocations, debug info) is deliberately excluded: stripping a
+// binary or retaining extra metadata does not change the code image a
+// profile was sampled from.
+func (b *Binary) ComputeBuildID() string {
+	var hdr [4 * 8]byte
+	binary.LittleEndian.PutUint64(hdr[0:], b.Entry)
+	binary.LittleEndian.PutUint64(hdr[8:], b.TextBase)
+	binary.LittleEndian.PutUint64(hdr[16:], b.RodataBase)
+	binary.LittleEndian.PutUint64(hdr[24:], b.DataBase)
+	return buildsys.Key(hdr[:], b.Text, b.Rodata, b.Data)
 }
 
 // SymbolByName returns the symbol with the given name.

@@ -233,6 +233,7 @@ func EncodeBinary(b *Binary) []byte {
 	} else {
 		e.b(0)
 	}
+	e.str(b.BuildID)
 	return e.buf
 }
 
@@ -286,6 +287,7 @@ func DecodeBinary(data []byte) (*Binary, error) {
 	b.HugePages = d.b() == 1
 	b.TextFileBytes = d.i64()
 	b.HasRelocInfo = d.b() == 1
+	b.BuildID = d.str()
 	if d.err != nil {
 		return nil, d.err
 	}

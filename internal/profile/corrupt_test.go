@@ -1,0 +1,162 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// v2 builds a raw profile image by hand so each field can be corrupted
+// independently of what Write is capable of producing.
+type rawProf struct{ buf []byte }
+
+func (r *rawProf) magic(m string) *rawProf { r.buf = append(r.buf, m...); return r }
+func (r *rawProf) u(v uint64) *rawProf {
+	r.buf = binary.AppendUvarint(r.buf, v)
+	return r
+}
+func (r *rawProf) str(s string) *rawProf {
+	r.u(uint64(len(s)))
+	r.buf = append(r.buf, s...)
+	return r
+}
+
+func TestReadCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the expected error
+	}{
+		{"empty", nil, "truncated magic"},
+		{"short magic", []byte("WP"), "truncated magic"},
+		{"bad magic", []byte("NOPE"), "bad magic"},
+		{"truncated name length", (&rawProf{}).magic("WPR2").buf, "truncated binary name length"},
+		{"huge name length", (&rawProf{}).magic("WPR2").u(1 << 40).buf, "binary name length"},
+		{"truncated name body", (&rawProf{}).magic("WPR2").u(100).buf, "truncated binary name"},
+		{"huge build ID", (&rawProf{}).magic("WPR2").str("app").u(1 << 20).buf, "build ID length"},
+		{"truncated period", (&rawProf{}).magic("WPR2").str("app").str("id").buf, "truncated period"},
+		{"truncated sample count", (&rawProf{}).magic("WPR2").str("app").str("id").u(211).buf, "truncated sample count"},
+		{"absurd sample count", (&rawProf{}).magic("WPR2").str("app").str("id").u(211).u(1 << 40).buf, "implausible sample count"},
+		{"missing samples", (&rawProf{}).magic("WPR2").str("app").str("id").u(211).u(3).buf, "truncated record count"},
+		{"over-deep sample", (&rawProf{}).magic("WPR2").str("app").str("id").u(211).u(1).u(LBRDepth + 1).buf, "exceeds LBR depth"},
+		{"truncated records", (&rawProf{}).magic("WPR2").str("app").str("id").u(211).u(1).u(2).u(5).buf, "truncated record"},
+		{"legacy magic truncated", (&rawProf{}).magic("WPRF").str("app").u(211).buf, "truncated sample count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader(tc.data)); err == nil {
+				t.Fatalf("corrupt input accepted")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// Stream must fail the same way, not panic.
+			if _, _, err := Stream(bytes.NewReader(tc.data), nil, func(Sample) error { return nil }); err == nil {
+				t.Fatalf("Stream accepted corrupt input")
+			}
+		})
+	}
+}
+
+func TestReadLegacyV1(t *testing.T) {
+	raw := (&rawProf{}).magic("WPRF").str("old.wb").u(97).u(1).u(1).u(0x100).u(0x200).buf
+	p, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Binary != "old.wb" || p.BuildID != "" || p.Period != 97 || len(p.Samples) != 1 {
+		t.Fatalf("legacy decode mismatch: %+v", p)
+	}
+}
+
+func TestBuildIDRoundTrip(t *testing.T) {
+	p := sample()
+	p.BuildID = "deadbeef"
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BuildID != "deadbeef" {
+		t.Fatalf("build ID lost: %q", got.BuildID)
+	}
+}
+
+func TestStreamHeaderCallbackAborts(t *testing.T) {
+	var buf bytes.Buffer
+	p := sample()
+	p.BuildID = "aaaa"
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	h, n, err := Stream(&buf, func(h Header) error {
+		if h.BuildID != "expected" {
+			return errRejected
+		}
+		return nil
+	}, func(Sample) error { samples++; return nil })
+	if err != errRejected {
+		t.Fatalf("err = %v, want rejection", err)
+	}
+	if n != 0 || samples != 0 {
+		t.Fatalf("samples consumed despite header rejection: n=%d cb=%d", n, samples)
+	}
+	if h.BuildID != "aaaa" || h.Samples != 3 {
+		t.Fatalf("header not populated: %+v", h)
+	}
+}
+
+var errRejected = bytes.ErrTooLarge // any sentinel distinct from nil
+
+func TestMergeDeterministic(t *testing.T) {
+	a := &Profile{Binary: "app", BuildID: "x", Period: 211,
+		Samples: []Sample{{Records: []Branch{{1, 2}}}}}
+	b := &Profile{Binary: "app", BuildID: "x", Period: 211,
+		Samples: []Sample{{Records: []Branch{{3, 4}}}, {Records: []Branch{{5, 6}}}}}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples) != 3 || m.BuildID != "x" || m.Period != 211 {
+		t.Fatalf("merge mismatch: %+v", m)
+	}
+	want := []Branch{{1, 2}, {3, 4}, {5, 6}}
+	for i, s := range m.Samples {
+		if !reflect.DeepEqual(s.Records, []Branch{want[i]}) {
+			t.Fatalf("sample %d out of order: %+v", i, s.Records)
+		}
+	}
+	// Merging twice in the same order is bit-identical.
+	var w1, w2 bytes.Buffer
+	m.Write(&w1)
+	m2, _ := Merge(a, b)
+	m2.Write(&w2)
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("merge not deterministic")
+	}
+}
+
+func TestMergeRejectsMismatches(t *testing.T) {
+	a := &Profile{BuildID: "x", Period: 211}
+	if _, err := Merge(a, &Profile{BuildID: "y", Period: 211}); err == nil {
+		t.Error("build ID mismatch accepted")
+	}
+	if _, err := Merge(a, &Profile{BuildID: "x", Period: 97}); err == nil {
+		t.Error("period mismatch accepted")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := Merge(a, nil); err == nil {
+		t.Error("nil shard accepted")
+	}
+	// Empty build IDs and periods are wildcards (synthetic inputs).
+	if _, err := Merge(a, &Profile{}); err != nil {
+		t.Errorf("wildcard shard rejected: %v", err)
+	}
+}

@@ -1,0 +1,53 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzRead exercises the decoder against arbitrary bytes: it must never
+// panic or over-allocate, and any input it accepts must round-trip through
+// Write/Read unchanged (Stream must agree with Read on the same bytes).
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	p := sample()
+	p.BuildID = "feedface"
+	if err := p.Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("WPR2"))
+	f.Add([]byte("WPRF\x00\x00\x00"))
+	f.Add((&rawProf{}).magic("WPR2").str("a").str("b").u(211).u(1 << 40).buf)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		var streamed []Sample
+		h, n, serr := Stream(bytes.NewReader(data), nil, func(s Sample) error {
+			recs := make([]Branch, len(s.Records))
+			copy(recs, s.Records)
+			streamed = append(streamed, Sample{Records: recs})
+			return nil
+		})
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("Read err=%v but Stream err=%v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if got.Binary != h.Binary || got.BuildID != h.BuildID || got.Period != h.Period || len(got.Samples) != n {
+			t.Fatalf("Read header %+v disagrees with Stream header %+v (n=%d)", got, h, n)
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(got.Aggregate(), again.Aggregate()) || len(got.Samples) != len(again.Samples) {
+			t.Fatal("round trip changed the profile")
+		}
+	})
+}

@@ -31,6 +31,12 @@ type Sample struct {
 type Profile struct {
 	// Binary identifies the profiled binary (informational).
 	Binary string
+	// BuildID is the content hash of the profiled binary, recorded so the
+	// fleet collection tier and the whole-program analyzer can reject
+	// profiles that do not match the serving binary (the build-ID matching
+	// of Google's propeller tooling). Empty means unknown (legacy profiles
+	// or synthetic test inputs).
+	BuildID string
 	// Period is the sampling period in retired instructions.
 	Period  uint64
 	Samples []Sample
@@ -97,12 +103,61 @@ func SortedEdges(agg map[Edge]uint64) []Edge {
 	return edges
 }
 
-const profMagic = "WPRF"
+// Merge combines profile shards (e.g. the per-host outputs of a fleet
+// collection run) into one profile, concatenating samples in argument
+// order so the result is deterministic. All shards must agree on the
+// sampling period and — where recorded — the build ID: merging profiles of
+// different binaries or incomparable sample weights is an error.
+func Merge(profs ...*Profile) (*Profile, error) {
+	if len(profs) == 0 {
+		return nil, fmt.Errorf("profile: nothing to merge")
+	}
+	out := &Profile{}
+	for i, p := range profs {
+		if p == nil {
+			return nil, fmt.Errorf("profile: merge input %d is nil", i)
+		}
+		if out.Binary == "" {
+			out.Binary = p.Binary
+		}
+		if p.BuildID != "" {
+			if out.BuildID == "" {
+				out.BuildID = p.BuildID
+			} else if out.BuildID != p.BuildID {
+				return nil, fmt.Errorf("profile: build ID mismatch across shards: %s vs %s", out.BuildID, p.BuildID)
+			}
+		}
+		if p.Period != 0 {
+			if out.Period == 0 {
+				out.Period = p.Period
+			} else if out.Period != p.Period {
+				return nil, fmt.Errorf("profile: period mismatch across shards: %d vs %d", out.Period, p.Period)
+			}
+		}
+		out.Samples = append(out.Samples, p.Samples...)
+	}
+	return out, nil
+}
+
+// Wire format magics: profMagicV2 adds the build-ID header field; the V1
+// magic is still accepted on read (legacy profiles carry no build ID).
+const (
+	profMagicV1 = "WPRF"
+	profMagicV2 = "WPR2"
+)
+
+// Decoder sanity caps: a header field exceeding these is corrupt input,
+// and must fail cleanly instead of driving a huge allocation.
+const (
+	maxNameLen    = 1 << 16
+	maxBuildIDLen = 1 << 10
+	maxSamples    = 1 << 28
+)
 
 // Write serializes the profile (the perf.data stand-in).
 func (p *Profile) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(profMagic); err != nil {
+	if _, err := bw.WriteString(profMagicV2); err != nil {
 		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -113,6 +168,8 @@ func (p *Profile) Write(w io.Writer) error {
 	}
 	putU(uint64(len(p.Binary)))
 	bw.WriteString(p.Binary)
+	putU(uint64(len(p.BuildID)))
+	bw.WriteString(p.BuildID)
 	putU(p.Period)
 	putU(uint64(len(p.Samples)))
 	for _, s := range p.Samples {
@@ -127,118 +184,135 @@ func (p *Profile) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Stream reads a serialized profile, invoking fn for every sample without
-// materializing the whole profile — the "chunked reading" §5.1 names as
-// the easy fix for profile-read memory. The returned header carries the
-// binary name, period and sample count.
-func Stream(r io.Reader, fn func(Sample) error) (binaryName string, period uint64, n int, err error) {
-	br := bufio.NewReader(r)
+// Header is the leading metadata of a serialized profile.
+type Header struct {
+	Binary  string
+	BuildID string
+	Period  uint64
+	// Samples is the declared sample count (what follows the header).
+	Samples uint64
+}
+
+func readString(br *bufio.Reader, what string, max uint64) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("profile: truncated %s length: %w", what, err)
+	}
+	if n > max {
+		return "", fmt.Errorf("profile: %s length %d exceeds cap %d", what, n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("profile: truncated %s: %w", what, err)
+	}
+	return string(buf), nil
+}
+
+func readHeader(br *bufio.Reader) (Header, error) {
+	var h Header
 	magic := make([]byte, 4)
-	if _, err = io.ReadFull(br, magic); err != nil {
-		return "", 0, 0, err
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return h, fmt.Errorf("profile: truncated magic: %w", err)
 	}
-	if string(magic) != profMagic {
-		return "", 0, 0, fmt.Errorf("profile: bad magic %q", magic)
+	withBuildID := false
+	switch string(magic) {
+	case profMagicV2:
+		withBuildID = true
+	case profMagicV1:
+	default:
+		return h, fmt.Errorf("profile: bad magic %q", magic)
 	}
-	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
-	nameLen, err := getU()
+	var err error
+	if h.Binary, err = readString(br, "binary name", maxNameLen); err != nil {
+		return h, err
+	}
+	if withBuildID {
+		if h.BuildID, err = readString(br, "build ID", maxBuildIDLen); err != nil {
+			return h, err
+		}
+	}
+	if h.Period, err = binary.ReadUvarint(br); err != nil {
+		return h, fmt.Errorf("profile: truncated period: %w", err)
+	}
+	if h.Samples, err = binary.ReadUvarint(br); err != nil {
+		return h, fmt.Errorf("profile: truncated sample count: %w", err)
+	}
+	if h.Samples > maxSamples {
+		return h, fmt.Errorf("profile: implausible sample count %d", h.Samples)
+	}
+	return h, nil
+}
+
+// Stream reads a serialized profile incrementally — the "chunked reading"
+// §5.1 names as the easy fix for profile-read memory. onHeader, when
+// non-nil, runs after the header is decoded and before any sample is
+// consumed, so callers can reject a profile (wrong build ID, wrong binary)
+// without paying for its body. onSample is invoked for every sample; its
+// record slice is only valid for the duration of the callback. Either
+// callback returning an error aborts the read. The returned count is the
+// number of samples consumed.
+func Stream(r io.Reader, onHeader func(Header) error, onSample func(Sample) error) (Header, int, error) {
+	br := bufio.NewReader(r)
+	h, err := readHeader(br)
 	if err != nil {
-		return "", 0, 0, err
+		return h, 0, err
 	}
-	if nameLen > 1<<16 {
-		return "", 0, 0, fmt.Errorf("profile: name too long")
-	}
-	name := make([]byte, nameLen)
-	if _, err = io.ReadFull(br, name); err != nil {
-		return "", 0, 0, err
-	}
-	binaryName = string(name)
-	if period, err = getU(); err != nil {
-		return binaryName, 0, 0, err
-	}
-	nSamples, err := getU()
-	if err != nil {
-		return binaryName, period, 0, err
-	}
-	if nSamples > 1<<28 {
-		return binaryName, period, 0, fmt.Errorf("profile: implausible sample count %d", nSamples)
+	if onHeader != nil {
+		if err := onHeader(h); err != nil {
+			return h, 0, err
+		}
 	}
 	var buf [LBRDepth]Branch
-	for i := uint64(0); i < nSamples; i++ {
-		nRec, err := getU()
+	for i := uint64(0); i < h.Samples; i++ {
+		nRec, err := binary.ReadUvarint(br)
 		if err != nil {
-			return binaryName, period, int(i), err
+			return h, int(i), fmt.Errorf("profile: truncated record count in sample %d: %w", i, err)
 		}
 		if nRec > LBRDepth {
-			return binaryName, period, int(i), fmt.Errorf("profile: sample with %d records exceeds LBR depth", nRec)
+			return h, int(i), fmt.Errorf("profile: sample with %d records exceeds LBR depth", nRec)
 		}
 		s := Sample{Records: buf[:nRec]}
 		for j := range s.Records {
-			if s.Records[j].From, err = getU(); err != nil {
-				return binaryName, period, int(i), err
+			if s.Records[j].From, err = binary.ReadUvarint(br); err != nil {
+				return h, int(i), fmt.Errorf("profile: truncated record in sample %d: %w", i, err)
 			}
-			if s.Records[j].To, err = getU(); err != nil {
-				return binaryName, period, int(i), err
+			if s.Records[j].To, err = binary.ReadUvarint(br); err != nil {
+				return h, int(i), fmt.Errorf("profile: truncated record in sample %d: %w", i, err)
 			}
 		}
-		if err := fn(s); err != nil {
-			return binaryName, period, int(i), err
+		if err := onSample(s); err != nil {
+			return h, int(i), err
 		}
 	}
-	return binaryName, period, int(nSamples), nil
+	return h, int(h.Samples), nil
 }
 
-// Read deserializes a profile.
+// Read deserializes a profile. It is Stream with materialization: corrupt
+// input (truncated headers, absurd counts, over-deep samples) returns an
+// error and never panics or over-allocates ahead of the bytes actually
+// present.
 func Read(r io.Reader) (*Profile, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, err
-	}
-	if string(magic) != profMagic {
-		return nil, fmt.Errorf("profile: bad magic %q", magic)
-	}
-	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
-	nameLen, err := getU()
+	p := &Profile{}
+	_, _, err := Stream(r, func(h Header) error {
+		p.Binary = h.Binary
+		p.BuildID = h.BuildID
+		p.Period = h.Period
+		// Preallocate only up to a modest bound: the declared count is
+		// attacker-controlled and the samples may not actually follow.
+		cap := h.Samples
+		if cap > 1<<12 {
+			cap = 1 << 12
+		}
+		p.Samples = make([]Sample, 0, cap)
+		return nil
+	}, func(s Sample) error {
+		recs := make([]Branch, len(s.Records))
+		copy(recs, s.Records)
+		p.Samples = append(p.Samples, Sample{Records: recs})
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("profile: name too long")
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
-	}
-	p := &Profile{Binary: string(name)}
-	if p.Period, err = getU(); err != nil {
-		return nil, err
-	}
-	nSamples, err := getU()
-	if err != nil {
-		return nil, err
-	}
-	if nSamples > 1<<28 {
-		return nil, fmt.Errorf("profile: implausible sample count %d", nSamples)
-	}
-	for i := uint64(0); i < nSamples; i++ {
-		nRec, err := getU()
-		if err != nil {
-			return nil, err
-		}
-		if nRec > LBRDepth {
-			return nil, fmt.Errorf("profile: sample with %d records exceeds LBR depth", nRec)
-		}
-		s := Sample{Records: make([]Branch, nRec)}
-		for j := range s.Records {
-			if s.Records[j].From, err = getU(); err != nil {
-				return nil, err
-			}
-			if s.Records[j].To, err = getU(); err != nil {
-				return nil, err
-			}
-		}
-		p.Samples = append(p.Samples, s)
 	}
 	return p, nil
 }
@@ -246,7 +320,7 @@ func Read(r io.Reader) (*Profile, error) {
 // SizeBytes estimates the serialized size, used by the memory model when
 // accounting for profile reading (§5.1).
 func (p *Profile) SizeBytes() int64 {
-	n := int64(16 + len(p.Binary))
+	n := int64(16 + len(p.Binary) + len(p.BuildID))
 	for _, s := range p.Samples {
 		n += 2 + int64(len(s.Records))*10
 	}

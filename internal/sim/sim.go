@@ -31,6 +31,13 @@ type Config struct {
 	// instructions into the produced profile.
 	LBRPeriod uint64
 
+	// LBRPhase offsets the sampling grid: a sample is taken whenever
+	// (retired + LBRPhase) is a multiple of LBRPeriod. Fleet collection
+	// gives every simulated host a distinct phase, so the hosts observe
+	// different slices of the same execution the way independently-timed
+	// production machines would.
+	LBRPhase uint64
+
 	// Heatmap, when non-nil, records instruction fetches.
 	Heatmap *heatmap.Recorder
 
@@ -162,7 +169,7 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 	}
 	var lbr lbrRing
 	if cfg.LBRPeriod > 0 {
-		res.Profile = &profile.Profile{Period: cfg.LBRPeriod}
+		res.Profile = &profile.Profile{Period: cfg.LBRPeriod, BuildID: bin.BuildID}
 	}
 
 	var callStack []frame
@@ -407,7 +414,7 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 			nextPC = target
 		}
 
-		if cfg.LBRPeriod > 0 && res.Insts%cfg.LBRPeriod == 0 {
+		if cfg.LBRPeriod > 0 && (res.Insts+cfg.LBRPhase)%cfg.LBRPeriod == 0 {
 			res.Profile.Samples = append(res.Profile.Samples, lbr.snapshot())
 		}
 		pc = nextPC

@@ -43,6 +43,18 @@ type Config struct {
 	// order (default: one 2M page).
 	MaxClusterSize int64
 
+	// BuildID, when non-empty, is the content hash of the binary whose BB
+	// address map the analysis runs against. A profile that records a
+	// different build ID is rejected: its addresses belong to another code
+	// image and would silently mis-attribute every sample (§3.3's matching
+	// of perf data to binaries by build ID).
+	BuildID string
+
+	// IgnoreBuildID disables the mismatch rejection (the ignore_build_id
+	// knob of propeller_options.proto) for profiles known to be
+	// compatible despite the hash difference.
+	IgnoreBuildID bool
+
 	// Workers bounds the parallelism of sample aggregation and
 	// intra-function layout (§4.7: profile parsing and layout are
 	// parallelized so whole-program analysis finishes in minutes at
@@ -58,6 +70,16 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// checkBuildID rejects a profile whose recorded build ID does not match
+// the binary under analysis. Empty IDs on either side mean "unknown" and
+// are accepted for compatibility with legacy and synthetic profiles.
+func (c Config) checkBuildID(profID string) error {
+	if c.IgnoreBuildID || c.BuildID == "" || profID == "" || profID == c.BuildID {
+		return nil
+	}
+	return fmt.Errorf("wpa: profile build ID %.12s.. does not match binary %.12s.. (use IgnoreBuildID to override)", profID, c.BuildID)
 }
 
 func (c Config) hotThreshold() uint64 {
@@ -326,6 +348,9 @@ func (a *analyzer) finish(cfg Config, profileBytes int64) (*Result, error) {
 // chunks aggregated by private shards, then merged deterministically;
 // the output is bit-identical to the serial path.
 func Analyze(m *bbaddrmap.Map, prof *profile.Profile, cfg Config) (*Result, error) {
+	if err := cfg.checkBuildID(prof.BuildID); err != nil {
+		return nil, err
+	}
 	a, err := newAnalyzer(m)
 	if err != nil {
 		return nil, err
@@ -392,9 +417,12 @@ func AnalyzeStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Result, error) {
 	if w < 1 {
 		w = 1
 	}
+	// The header check runs before any sample is aggregated, so a
+	// build-ID-mismatched profile is rejected without paying for its body.
+	onHeader := func(h profile.Header) error { return cfg.checkBuildID(h.BuildID) }
 	aggStart := time.Now()
 	if w == 1 {
-		if _, _, _, err := profile.Stream(r, func(s profile.Sample) error {
+		if _, _, err := profile.Stream(r, onHeader, func(s profile.Sample) error {
 			a.addSample(s)
 			return nil
 		}); err != nil {
@@ -423,7 +451,7 @@ func AnalyzeStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Result, error) {
 			}(sh)
 		}
 		batch := make([]profile.Sample, 0, streamBatch)
-		_, _, _, serr := profile.Stream(r, func(s profile.Sample) error {
+		_, _, serr := profile.Stream(r, onHeader, func(s profile.Sample) error {
 			recs := make([]profile.Branch, len(s.Records))
 			copy(recs, s.Records)
 			batch = append(batch, profile.Sample{Records: recs})
