@@ -1137,3 +1137,69 @@ func BenchmarkFleetProf(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkProfSvc runs the continuous profile-build service's iterative
+// stability study: K generations of profile → relink → redeploy on the
+// tiny workload, replayed under three ingestion configurations (serial,
+// sharded, faulty transport). GenerationSweep already enforces the
+// stability contract — monotone non-decreasing speedup, a byte-identical
+// layout fixed point, one decision sequence across all cells — so a
+// violation fails the benchmark. It writes BENCH_profsvc.json (the CI
+// bench-smoke artifact, grepped for `"fixed_point": true`).
+func BenchmarkProfSvc(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		curves, err := eval.GenerationSweep(eval.GenerationSweepConfig{
+			Generations: 5,
+			Hosts:       3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curves) == 0 {
+			b.Fatal("empty sweep")
+		}
+		for _, c := range curves {
+			if !c.FixedPoint || c.FixedPointGen > 5 {
+				b.Fatalf("%s shards=%d loss=%g: fixed point %v at gen %d, want within 5",
+					c.Workload, c.Shards, c.LossRate, c.FixedPoint, c.FixedPointGen)
+			}
+			if c.FinalSpeedupPct <= 0 {
+				b.Fatalf("%s shards=%d loss=%g: final speedup %.3f%%, want > 0",
+					c.Workload, c.Shards, c.LossRate, c.FinalSpeedupPct)
+			}
+		}
+		ref := curves[0]
+		b.ReportMetric(ref.FinalSpeedupPct, "finalSpeedup%")
+		b.ReportMetric(float64(ref.FixedPointGen), "fixedPointGen")
+		fmt.Printf("ProfSvc %s: %d generations, fixed point at gen %d, final speedup %.2f%% (baseline %d cycles)\n",
+			ref.Workload, len(ref.Generations), ref.FixedPointGen, ref.FinalSpeedupPct, ref.BaselineCycles)
+		for _, g := range ref.Generations {
+			marker := " "
+			if g.Adopted {
+				marker = "*"
+			}
+			fmt.Printf("  gen %d%s: profiled %.10s.. candidate %.10s.. deployed %.10s.. speedup %6.2f%% fixed=%v\n",
+				g.Index, marker, g.ProfiledBuildID, g.CandidateBuildID, g.DeployedBuildID,
+				g.SpeedupPct, g.FixedPoint)
+		}
+
+		f, err := os.Create("BENCH_profsvc.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(map[string]any{
+			"benchmark":   "ProfSvc",
+			"generations": 5,
+			"hosts":       3,
+			"records":     curves,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,10 +21,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"propeller/internal/core"
 	"propeller/internal/fleetprof"
@@ -52,6 +55,7 @@ func main() {
 		fleetShard = flag.Int("fleet-shards", 1, "ingestion service shard count (with -fleet-hosts)")
 		fleetLoss  = flag.Float64("fleet-loss", 0, "transport delivery loss rate in [0,1) (with -fleet-hosts)")
 		fleetMinS  = flag.Int64("fleet-min-samples", 0, "admission gate: minimum total accepted samples")
+		statuszAt  = flag.String("statusz-addr", "", "serve the fleet ingestion /statusz snapshot over HTTP on this address, e.g. 127.0.0.1:8345 (with -fleet-hosts)")
 	)
 	flag.Parse()
 
@@ -69,6 +73,11 @@ func main() {
 			DupRate:  *fleetLoss / 2,
 			Gate:     fleetprof.Gate{MinSamples: *fleetMinS},
 		}
+		if *statuszAt != "" {
+			opts.Fleet.OnService = serveStatusz(*statuszAt)
+		}
+	} else if *statuszAt != "" {
+		fatalf("-statusz-addr requires -fleet-hosts")
 	}
 	train := core.RunSpec{MaxInsts: *trainMax, LBRPeriod: 211}
 
@@ -208,6 +217,37 @@ func writeArtifacts(dir string, res *core.Result) error {
 	}
 	defer pf.Close()
 	return res.Profile.Write(pf)
+}
+
+// serveStatusz starts an HTTP listener serving the fleet ingestion
+// service's /statusz (the shared fleetprof.StatuszHandler) and returns the
+// FleetOptions hook that points it at each collection run's service. The
+// endpoint answers 503 until the first collection starts.
+func serveStatusz(addr string) func(*fleetprof.Service) {
+	var mu sync.Mutex
+	var cur *fleetprof.Service
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		svc := cur
+		mu.Unlock()
+		if svc == nil {
+			http.Error(w, "no fleet collection has started yet", http.StatusServiceUnavailable)
+			return
+		}
+		svc.StatuszHandler().ServeHTTP(w, r)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("statusz listener: %v", err)
+	}
+	fmt.Printf("propeller: serving /statusz on http://%s/statusz\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return func(s *fleetprof.Service) {
+		mu.Lock()
+		cur = s
+		mu.Unlock()
+	}
 }
 
 func fatalf(format string, args ...any) {

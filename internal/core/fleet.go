@@ -33,6 +33,10 @@ type FleetOptions struct {
 	BatchSamples int
 	// Gate is the admission policy; a zero Gate admits any profile.
 	Gate fleetprof.Gate
+	// OnService, when non-nil, observes the ingestion service right after
+	// it is created — the hook debug endpoints (wsc-propeller
+	// -statusz-addr) use to expose the service's /statusz over HTTP.
+	OnService func(*fleetprof.Service)
 }
 
 func (f FleetOptions) hosts() int {
@@ -94,6 +98,9 @@ func CollectFleetProfile(bin *objfile.Binary, spec RunSpec, fo FleetOptions, tra
 		QueueDepth:      fo.QueueDepth,
 		BuildID:         bin.BuildID,
 	})
+	if fo.OnService != nil {
+		fo.OnService(svc)
+	}
 	collectors := make([]*fleetprof.Collector, hosts)
 	for h := 0; h < hosts; h++ {
 		collectors[h] = &fleetprof.Collector{

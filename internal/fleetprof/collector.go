@@ -100,9 +100,20 @@ type Collector struct {
 	// Backoff is the initial real sleep after a queue-full reject
 	// (default 100µs, doubling up to 100× initial).
 	Backoff time.Duration
-	// MaxRetries bounds queue-full retries per batch (default 10000);
-	// exceeding it is a hard error, the fleet run does not silently drop.
-	MaxRetries int
+	// MaxAttempts bounds total Submit attempts per batch (default 16). A
+	// shard that stays full for the whole budget drops the batch — counted
+	// in CollectorStats.Dropped, surfaced as IngestStats.DroppedBatches —
+	// instead of wedging the host forever behind one sick shard.
+	MaxAttempts int
+	// AdaptAfterDrops is the sustained-backpressure threshold for
+	// sampling-rate adaptation (default 2): once that many consecutive
+	// batches have been dropped on a full queue, the collector doubles its
+	// downsampling — shipping every 2nd, then 4th, ... sample — so a
+	// congested ingestion tier receives a thinner, still-unbiased stream
+	// instead of a firehose it keeps rejecting. A successfully delivered
+	// batch resets the consecutive-drop counter (but not the rate: the
+	// fleet operator resets rates by redeploying collectors).
+	AdaptAfterDrops int
 }
 
 // CollectorStats is one host's client-side accounting.
@@ -111,6 +122,12 @@ type CollectorStats struct {
 	Retried int64 // resends: lost-delivery retries + queue-full retries
 	Lost    int64 // delivery attempts lost in transit (modeled)
 	Dup     int64 // extra copies the network delivered
+	// Dropped counts batches abandoned after the MaxAttempts budget: the
+	// bounded-retry contract that keeps a wedged shard from hanging a host.
+	Dropped int64
+	// Downsample is the final sampling-rate divisor after adaptation
+	// (1 = full rate; 2/4/8... after sustained queue-full drops).
+	Downsample int64
 	// StallSeconds is real time spent sleeping in queue-full backoff.
 	StallSeconds float64
 	// ModeledSendSeconds is this host's deterministic send-path time:
@@ -134,34 +151,45 @@ func (c *Collector) backoff() time.Duration {
 	return c.Backoff
 }
 
-func (c *Collector) maxRetries() int {
-	if c.MaxRetries < 1 {
-		return 10000
+func (c *Collector) maxAttempts() int {
+	if c.MaxAttempts < 1 {
+		return 16
 	}
-	return c.MaxRetries
+	return c.MaxAttempts
+}
+
+func (c *Collector) adaptAfterDrops() int {
+	if c.AdaptAfterDrops < 1 {
+		return 2
+	}
+	return c.AdaptAfterDrops
 }
 
 // Run batches the host's profile and ships every batch through the
-// transport to the service, honoring backpressure. It returns when all
-// batches have been accepted into a queue (dedup upstream discards any
-// extras) or fails hard after MaxRetries on a full queue.
+// transport to the service, honoring backpressure. Each batch gets a
+// bounded delivery-attempt budget: a batch the queue keeps rejecting is
+// dropped (counted, never silently) instead of hanging the host, and
+// sustained drops double the collector's downsampling so the stream thins
+// to what the service can absorb.
 func (c *Collector) Run(t Transport, svc *Service) (CollectorStats, error) {
-	var st CollectorStats
+	st := CollectorStats{Downsample: 1}
 	p := c.Profile
 	if p == nil {
 		return st, fmt.Errorf("fleetprof: collector host %d has no profile", c.Host)
 	}
 	bs := c.batchSamples()
+	consecDrops := 0
 	for seq, off := 0, 0; off < len(p.Samples) || (off == 0 && seq == 0); seq, off = seq+1, off+bs {
 		end := off + bs
 		if end > len(p.Samples) {
 			end = len(p.Samples)
 		}
+		shipped := thin(p.Samples[off:end], st.Downsample)
 		chunk := &profile.Profile{
 			Binary:  p.Binary,
 			BuildID: p.BuildID,
 			Period:  p.Period,
-			Samples: p.Samples[off:end],
+			Samples: shipped,
 		}
 		var buf bytes.Buffer
 		if err := chunk.Write(&buf); err != nil {
@@ -175,9 +203,20 @@ func (c *Collector) Run(t Transport, svc *Service) (CollectorStats, error) {
 		attemptCost := SendLatencySeconds + float64(len(payload))*SendPerByteSeconds
 		st.ModeledSendSeconds += float64(lost+1)*attemptCost + float64(lost)*RetryTimeoutSeconds
 
-		if err := c.deliver(svc, Batch{Host: c.Host, Seq: seq, Payload: payload}, &st); err != nil {
+		dropped, err := c.deliver(svc, Batch{Host: c.Host, Seq: seq, Payload: payload}, &st)
+		if err != nil {
 			return st, err
 		}
+		if dropped {
+			st.Dropped++
+			consecDrops++
+			if consecDrops >= c.adaptAfterDrops() {
+				st.Downsample *= 2
+				consecDrops = 0
+			}
+			continue
+		}
+		consecDrops = 0
 		st.Sent++
 		if dup {
 			st.Dup++
@@ -190,20 +229,36 @@ func (c *Collector) Run(t Transport, svc *Service) (CollectorStats, error) {
 	return st, nil
 }
 
-// deliver submits one batch with exponential backoff on queue-full.
-func (c *Collector) deliver(svc *Service, b Batch, st *CollectorStats) error {
+// thin keeps every d-th sample of a batch window — the unbiased
+// sampling-rate adaptation a collector applies under sustained
+// backpressure (d doubles after AdaptAfterDrops consecutive drops).
+func thin(samples []profile.Sample, d int64) []profile.Sample {
+	if d <= 1 {
+		return samples
+	}
+	out := make([]profile.Sample, 0, (len(samples)+int(d)-1)/int(d))
+	for i := 0; i < len(samples); i += int(d) {
+		out = append(out, samples[i])
+	}
+	return out
+}
+
+// deliver submits one batch with exponential backoff on queue-full, under
+// a hard attempt budget. It reports dropped=true when the budget ran out
+// with the queue still full.
+func (c *Collector) deliver(svc *Service, b Batch, st *CollectorStats) (dropped bool, err error) {
 	backoff := c.backoff()
 	maxBackoff := 100 * c.backoff()
-	for r := 0; ; r++ {
+	for attempt := 1; ; attempt++ {
 		err := svc.Submit(b)
 		if err == nil {
-			return nil
+			return false, nil
 		}
 		if !errors.Is(err, ErrQueueFull) {
-			return err
+			return false, err
 		}
-		if r >= c.maxRetries() {
-			return fmt.Errorf("fleetprof: host %d batch %d: queue full after %d retries", b.Host, b.Seq, r)
+		if attempt >= c.maxAttempts() {
+			return true, nil
 		}
 		st.Retried++
 		st.StallSeconds += backoff.Seconds()

@@ -146,6 +146,8 @@ type clientAggregate struct {
 	retried       int64
 	lost          int64
 	dup           int64
+	dropped       int64
+	maxDownsample int64
 	stallSeconds  float64
 	maxHostSend   float64
 	totalSendCost float64
@@ -326,11 +328,17 @@ type IngestStats struct {
 	QueueHighWater   int   `json:"queueHighWater"`
 
 	// Client-side aggregates (folded in by RunFleet).
-	SentBatches    int64   `json:"sentBatches"`
-	RetriedSends   int64   `json:"retriedSends"`
-	LostDeliveries int64   `json:"lostDeliveries"`
-	DupDeliveries  int64   `json:"dupDeliveries"`
-	StallSeconds   float64 `json:"stallSeconds"`
+	SentBatches    int64 `json:"sentBatches"`
+	RetriedSends   int64 `json:"retriedSends"`
+	LostDeliveries int64 `json:"lostDeliveries"`
+	DupDeliveries  int64 `json:"dupDeliveries"`
+	// DroppedBatches counts batches abandoned after a collector's bounded
+	// attempt budget ran out against a persistently full shard queue.
+	DroppedBatches int64 `json:"droppedBatches"`
+	// MaxDownsample is the largest sampling-rate divisor any collector
+	// adapted to under sustained backpressure (1 = nobody throttled).
+	MaxDownsample int64   `json:"maxDownsample"`
+	StallSeconds  float64 `json:"stallSeconds"`
 
 	// Modeled time (deterministic: unaffected by real scheduling).
 	ModeledSendSeconds    float64 `json:"modeledSendSeconds"`    // summed over hosts
@@ -381,6 +389,8 @@ func (s *Service) Stats() IngestStats {
 	st.RetriedSends = ca.retried
 	st.LostDeliveries = ca.lost
 	st.DupDeliveries = ca.dup
+	st.DroppedBatches = ca.dropped
+	st.MaxDownsample = ca.maxDownsample
 	st.StallSeconds = ca.stallSeconds
 	st.MaxHostSendSeconds = ca.maxHostSend
 	st.ModeledSendSeconds = ca.totalSendCost
@@ -395,6 +405,10 @@ func (s *Service) foldClient(cs CollectorStats) {
 	s.clientStats.retried += cs.Retried
 	s.clientStats.lost += cs.Lost
 	s.clientStats.dup += cs.Dup
+	s.clientStats.dropped += cs.Dropped
+	if cs.Downsample > s.clientStats.maxDownsample {
+		s.clientStats.maxDownsample = cs.Downsample
+	}
 	s.clientStats.stallSeconds += cs.StallSeconds
 	s.clientStats.totalSendCost += cs.ModeledSendSeconds
 	if cs.ModeledSendSeconds > s.clientStats.maxHostSend {
@@ -420,8 +434,9 @@ func (st IngestStats) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "samples: %d (%d records)\n", st.AcceptedSamples, st.AcceptedRecords)
 	fmt.Fprintf(w, "backpressure: queue-full rejects=%d high-water=%d client stall=%.3fs\n",
 		st.QueueFullRejects, st.QueueHighWater, st.StallSeconds)
-	fmt.Fprintf(w, "client: sent=%d retried=%d lost=%d dup-delivered=%d\n",
-		st.SentBatches, st.RetriedSends, st.LostDeliveries, st.DupDeliveries)
+	fmt.Fprintf(w, "client: sent=%d retried=%d lost=%d dup-delivered=%d dropped=%d max-downsample=%dx\n",
+		st.SentBatches, st.RetriedSends, st.LostDeliveries, st.DupDeliveries,
+		st.DroppedBatches, st.MaxDownsample)
 	hosts := make([]int, 0, len(st.HostBatches))
 	for h := range st.HostBatches {
 		hosts = append(hosts, h)

@@ -3,6 +3,9 @@ package fleetprof
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -259,6 +262,124 @@ func TestMakespanMonotone(t *testing.T) {
 			}
 			prev = cur
 		}
+	}
+}
+
+// TestRetryBudgetCap pins the bounded-attempt contract: a shard that stays
+// full for a batch's whole MaxAttempts budget drops the batch — counted in
+// DroppedBatches, never hanging the host — and sustained drops double the
+// collector's downsampling divisor.
+func TestRetryBudgetCap(t *testing.T) {
+	// Depth-1 queue whose single worker sleeps long enough that the queue
+	// stays full for every collector attempt below.
+	svc := NewService(ServiceConfig{QueueDepth: 1, IngestDelay: 300 * time.Millisecond})
+	// Wedge the shard: one batch busies the worker, one fills the queue.
+	for i := 0; i < 2; i++ {
+		for {
+			if err := svc.Submit(Batch{Host: 99, Seq: i, Payload: []byte("junk")}); err == nil {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	preRejects := svc.Stats().QueueFullRejects // prefill may have bounced too
+
+	const maxAttempts = 5
+	c := &Collector{
+		Host:            0,
+		Profile:         hostProfile(0, 8, "bid"),
+		BatchSamples:    4, // 2 batches
+		Backoff:         100 * time.Microsecond,
+		MaxAttempts:     maxAttempts,
+		AdaptAfterDrops: 1,
+	}
+	cs, err := c.Run(Transport{}, svc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	svc.foldClient(cs)
+	svc.Drain()
+	st := svc.Stats()
+
+	if cs.Dropped != 2 || st.DroppedBatches != 2 {
+		t.Fatalf("Dropped = %d (stats %d), want 2", cs.Dropped, st.DroppedBatches)
+	}
+	if cs.Sent != 0 {
+		t.Fatalf("Sent = %d, want 0 (every batch met a wedged shard)", cs.Sent)
+	}
+	// The cap itself: exactly MaxAttempts submits per batch, so the
+	// queue-full counter pins the budget.
+	if got, want := st.QueueFullRejects-preRejects, int64(2*maxAttempts); got != want {
+		t.Fatalf("QueueFullRejects = %d, want %d (MaxAttempts=%d x 2 batches)", got, want, maxAttempts)
+	}
+	if want := int64(2 * (maxAttempts - 1)); cs.Retried != want {
+		t.Fatalf("Retried = %d, want %d", cs.Retried, want)
+	}
+	// Sampling-rate adaptation: one doubling per drop at AdaptAfterDrops=1.
+	if cs.Downsample != 4 || st.MaxDownsample != 4 {
+		t.Fatalf("Downsample = %d (stats %d), want 4 after 2 drops", cs.Downsample, st.MaxDownsample)
+	}
+}
+
+// TestThin pins the adaptation's sample selection: every d-th sample, ages
+// preserved, no bias toward either end of the window.
+func TestThin(t *testing.T) {
+	p := hostProfile(0, 10, "bid")
+	if got := thin(p.Samples, 1); len(got) != 10 {
+		t.Fatalf("thin(1) = %d samples, want 10", len(got))
+	}
+	got := thin(p.Samples, 4)
+	if len(got) != 3 {
+		t.Fatalf("thin(4) = %d samples, want 3", len(got))
+	}
+	for i, s := range got {
+		wantIdx := uint64(i * 4)
+		if idx := (s.Records[0].From >> 8) & 0xffffff; idx != wantIdx {
+			t.Fatalf("thin(4)[%d] is source sample %d, want %d", i, idx, wantIdx)
+		}
+	}
+}
+
+// TestStatuszHandler is the httptest smoke test for the shared HTTP
+// snapshot both profsvc and wsc-propeller -statusz-addr serve.
+func TestStatuszHandler(t *testing.T) {
+	svc := NewService(ServiceConfig{Shards: 2, BuildID: "deadbeefcafe0123"})
+	if _, err := RunFleet(fleet(2, 10, "deadbeefcafe0123", 4), Transport{}, svc); err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	ts := httptest.NewServer(svc.StatuszHandler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatalf("GET /statusz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	for _, want := range []string{"2 shards", "serving build ID", "samples: 20"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("statusz body missing %q:\n%s", want, body)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/statusz", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /statusz: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp2.StatusCode)
 	}
 }
 

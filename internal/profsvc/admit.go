@@ -1,0 +1,132 @@
+package profsvc
+
+import (
+	"fmt"
+	"sort"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/fleetprof"
+	"propeller/internal/profile"
+)
+
+// Scorer is the rebuild admission policy: it extends fleetprof.Gate's
+// quantity criteria (samples, hot functions, host coverage) with two
+// quality criteria a *continuous* service needs and a one-shot collection
+// run does not:
+//
+//   - freshness: how much of the stored aggregate was collected in the
+//     current epoch, i.e. against the binary as it is deployed right now —
+//     a store full of decayed history should not trigger a relink on its
+//     own;
+//   - hot-function overlap: how much of the previous generation's hot set
+//     recurs in this epoch's profile. A workload shift (low overlap) means
+//     the old layout is no guide and a relink decision should wait for the
+//     profile to stabilize.
+type Scorer struct {
+	fleetprof.Gate
+	// MinFreshness in [0,1] is the minimum fraction of aggregate samples
+	// collected in the current epoch (0 disables).
+	MinFreshness float64
+	// MinHotOverlap in [0,1] is the minimum fraction of the previous
+	// generation's hot functions that recur in this epoch's samples
+	// (0 disables; also skipped when there is no previous hot set yet).
+	MinHotOverlap float64
+}
+
+// AdmitReport extends GateReport with the scorer's quality criteria.
+type AdmitReport struct {
+	Ready        bool    `json:"ready"`
+	Samples      int64   `json:"samples"`
+	HotFuncs     int     `json:"hotFuncs"`
+	HostCoverage float64 `json:"hostCoverage"`
+	Freshness    float64 `json:"freshness"`
+	HotOverlap   float64 `json:"hotOverlap"`
+	Reason       string  `json:"reason,omitempty"`
+}
+
+// hotFuncs resolves the distinct function set touched by a profile's
+// records, sorted for determinism. Nil lookup resolves to nil.
+func hotFuncs(p *profile.Profile, lk *bbaddrmap.Lookup) []string {
+	if lk == nil || p == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, smp := range p.Samples {
+		for _, r := range smp.Records {
+			if fn, _, ok := lk.Resolve(r.From); ok {
+				set[fn] = true
+			}
+			if fn, _, ok := lk.Resolve(r.To); ok {
+				set[fn] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for fn := range set {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Score evaluates the admission policy for one generation. epoch is the
+// profile collected this epoch (what the fleet just shipped); agg is the
+// store's decayed aggregate for the serving build (epoch included); lk
+// resolves addresses against the serving binary's bb-address-map (nil
+// skips the hot-function criteria); st carries host coverage from the
+// fleet run; expectedHosts sizes the coverage denominator (<=0 skips);
+// prevHot is the previous generation's hot-function set (empty skips the
+// overlap criterion — the first generation has nothing to overlap with).
+func (sc Scorer) Score(epoch, agg *profile.Profile, lk *bbaddrmap.Lookup,
+	st fleetprof.IngestStats, expectedHosts int, prevHot []string) AdmitReport {
+	rep := AdmitReport{Ready: true, Freshness: 1, HotOverlap: 1}
+	if epoch != nil {
+		rep.Samples = int64(len(epoch.Samples))
+	}
+
+	cur := hotFuncs(epoch, lk)
+	rep.HotFuncs = len(cur)
+
+	if expectedHosts > 0 {
+		rep.HostCoverage = float64(len(st.HostBatches)) / float64(expectedHosts)
+	}
+	if agg != nil && len(agg.Samples) > 0 {
+		rep.Freshness = float64(rep.Samples) / float64(len(agg.Samples))
+		if rep.Freshness > 1 {
+			rep.Freshness = 1
+		}
+	}
+	if len(prevHot) > 0 && lk != nil {
+		curSet := make(map[string]bool, len(cur))
+		for _, fn := range cur {
+			curSet[fn] = true
+		}
+		n := 0
+		for _, fn := range prevHot {
+			if curSet[fn] {
+				n++
+			}
+		}
+		rep.HotOverlap = float64(n) / float64(len(prevHot))
+	}
+
+	g := sc.Gate
+	switch {
+	case g.MinSamples > 0 && rep.Samples < g.MinSamples:
+		rep.Ready = false
+		rep.Reason = fmt.Sprintf("samples %d < min %d", rep.Samples, g.MinSamples)
+	case g.MinHotFuncs > 0 && lk != nil && rep.HotFuncs < g.MinHotFuncs:
+		rep.Ready = false
+		rep.Reason = fmt.Sprintf("hot functions %d < min %d", rep.HotFuncs, g.MinHotFuncs)
+	case g.MinHostCoverage > 0 && expectedHosts > 0 && rep.HostCoverage < g.MinHostCoverage:
+		rep.Ready = false
+		rep.Reason = fmt.Sprintf("host coverage %.2f < min %.2f", rep.HostCoverage, g.MinHostCoverage)
+	case sc.MinFreshness > 0 && rep.Freshness < sc.MinFreshness:
+		rep.Ready = false
+		rep.Reason = fmt.Sprintf("freshness %.2f < min %.2f", rep.Freshness, sc.MinFreshness)
+	case sc.MinHotOverlap > 0 && lk != nil && len(prevHot) > 0 && rep.HotOverlap < sc.MinHotOverlap:
+		rep.Ready = false
+		rep.Reason = fmt.Sprintf("hot overlap %.2f < min %.2f", rep.HotOverlap, sc.MinHotOverlap)
+	}
+	return rep
+}

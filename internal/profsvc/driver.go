@@ -1,0 +1,361 @@
+package profsvc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/buildsys"
+	"propeller/internal/core"
+	"propeller/internal/layoutfile"
+	"propeller/internal/objfile"
+	"propeller/internal/profile"
+	"propeller/internal/sim"
+)
+
+// DriverConfig configures the generation driver.
+type DriverConfig struct {
+	// Generations is the number of profile → relink → redeploy loops to
+	// run (default 5).
+	Generations int
+
+	// Fleet collection shape (fed to core.CollectFleetProfile each
+	// generation; zero values take that layer's defaults).
+	Hosts           int
+	Shards          int
+	WorkersPerShard int
+	QueueDepth      int
+	LossRate        float64
+	DupRate         float64
+	Seed            uint64
+	BatchSamples    int
+
+	// TrainInsts bounds each host's profiling run (default 20M);
+	// EvalInsts the candidate measurement runs (default 40M).
+	TrainInsts uint64
+	EvalInsts  uint64
+	LBRPeriod  uint64 // default 211
+	Args       [4]int64
+
+	// Scorer is the rebuild admission policy; the zero Scorer admits any
+	// profile.
+	Scorer Scorer
+
+	// Opts carries the build pipeline configuration (caches are created
+	// when nil).
+	Opts core.Options
+
+	// StoreConfig tunes retention when the driver creates its own Store.
+	StoreConfig StoreConfig
+
+	// Store is the profile store; created from StoreConfig when nil.
+	Store *Store
+
+	// Service, when non-nil, is told each generation's serving build ID —
+	// the build-ID enforcement the HTTP front end applies to publishes.
+	Service *Service
+
+	// Client, when non-nil, routes publish and fetch through the HTTP API
+	// instead of calling the store directly — the same Store must back the
+	// server the client points at.
+	Client *Client
+}
+
+func (c DriverConfig) generations() int {
+	if c.Generations < 1 {
+		return 5
+	}
+	return c.Generations
+}
+
+func (c DriverConfig) trainInsts() uint64 {
+	if c.TrainInsts == 0 {
+		return 20_000_000
+	}
+	return c.TrainInsts
+}
+
+func (c DriverConfig) evalInsts() uint64 {
+	if c.EvalInsts == 0 {
+		return 40_000_000
+	}
+	return c.EvalInsts
+}
+
+func (c DriverConfig) lbrPeriod() uint64 {
+	if c.LBRPeriod == 0 {
+		return 211
+	}
+	return c.LBRPeriod
+}
+
+func (c DriverConfig) hosts() int {
+	if c.Hosts < 1 {
+		return 4
+	}
+	return c.Hosts
+}
+
+// Generation records one loop iteration.
+type Generation struct {
+	Index int `json:"gen"`
+	// ProfiledBuildID is the binary the fleet ran and profiled this
+	// generation (the deployed binary at collection time).
+	ProfiledBuildID string `json:"profiledBuildID"`
+	// CandidateBuildID is the relink output's content-hash build ID
+	// (empty when the admission scorer kept the gate closed).
+	CandidateBuildID string `json:"candidateBuildID,omitempty"`
+	// DeployedBuildID is the serving binary after the adoption decision.
+	DeployedBuildID string `json:"deployedBuildID"`
+	// LayoutSHA fingerprints the generation's layout decision: sha256 over
+	// the cc_prof.txt directives and ld_prof.txt symbol order bytes.
+	LayoutSHA string `json:"layoutSHA,omitempty"`
+	// CandidateCycles / DeployedCycles are measured on EvalInsts.
+	CandidateCycles uint64 `json:"candidateCycles,omitempty"`
+	DeployedCycles  uint64 `json:"deployedCycles"`
+	// SpeedupPct is the deployed binary's improvement over the baseline.
+	SpeedupPct float64 `json:"speedupPct"`
+	// Adopted says the candidate strictly beat the deployed binary and
+	// replaced it — the rollout hysteresis that prevents oscillation.
+	Adopted bool `json:"adopted"`
+	// FixedPoint says this generation reproduced the previous one exactly:
+	// same candidate build ID, same deployed build ID.
+	FixedPoint  bool `json:"fixedPoint"`
+	GateOpen    bool `json:"gateOpen"`
+	HotModules  int  `json:"hotModules,omitempty"`
+	ColdModules int  `json:"coldModules,omitempty"`
+	// EpochSamples is the fleet profile's sample count this generation.
+	EpochSamples int         `json:"epochSamples"`
+	Admit        AdmitReport `json:"admit"`
+	// Retained is the build's sample count in the store after publishing.
+	Retained int64 `json:"retained"`
+}
+
+// LoopResult is the outcome of a full generation loop.
+type LoopResult struct {
+	Workload        string       `json:"workload"`
+	BaselineBuildID string       `json:"baselineBuildID"`
+	BaselineCycles  uint64       `json:"baselineCycles"`
+	BaselineExit    int64        `json:"-"`
+	Generations     []Generation `json:"generations"`
+	// FixedPoint says the loop converged: the final generation reproduced
+	// its predecessor byte-for-byte.
+	FixedPoint bool `json:"fixedPoint"`
+	// FixedPointGen is the first generation of the stable suffix (0 when
+	// the loop never converged).
+	FixedPointGen int        `json:"fixedPointGen"`
+	Store         StoreStats `json:"store"`
+}
+
+// FinalSpeedupPct is the last generation's deployed speedup over baseline.
+func (r *LoopResult) FinalSpeedupPct() float64 {
+	if len(r.Generations) == 0 {
+		return 0
+	}
+	return r.Generations[len(r.Generations)-1].SpeedupPct
+}
+
+// measureBin runs a binary on the simulator for the evaluation budget.
+func measureBin(bin *objfile.Binary, cfg DriverConfig) (uint64, int64, error) {
+	mach, err := sim.Load(bin)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := mach.Run(sim.Config{MaxInsts: cfg.evalInsts(), Args: cfg.Args})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Cycles, res.Exit, nil
+}
+
+// RunGenerations closes the loop K times over one program: profile the
+// deployed binary across the fleet, publish the merged profile to the
+// store (over HTTP when a Client is configured), gate on the admission
+// scorer, relink through Phase 4 (a new content-hash build ID), measure
+// the candidate, and adopt it only on strict cycle improvement. The
+// baseline is the Phase-2 metadata binary; every candidate must reproduce
+// its exit checksum. By construction the deployed cycle count is monotone
+// non-increasing — the speedup curve never regresses — and with the
+// store's bounded retention the candidate layout becomes a pure function
+// of the deployed binary, so the loop reaches a byte-identical fixed
+// point instead of oscillating.
+func RunGenerations(p *core.Program, cfg DriverConfig) (*LoopResult, error) {
+	opts := cfg.Opts
+	if opts.IRCache == nil {
+		opts.IRCache = buildsys.NewCache()
+	}
+	if opts.ObjCache == nil {
+		opts.ObjCache = buildsys.NewCache()
+	}
+	store := cfg.Store
+	if store == nil {
+		store = NewStore(cfg.StoreConfig)
+	}
+
+	meta, err := core.BuildWithMetadata(p, opts)
+	if err != nil {
+		return nil, fmt.Errorf("profsvc: metadata build: %w", err)
+	}
+	irKeys := core.Phase1CacheIR(p, opts.IRCache)
+
+	baseCycles, baseExit, err := measureBin(meta.Binary, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("profsvc: baseline run: %w", err)
+	}
+	out := &LoopResult{
+		Workload:        p.Name,
+		BaselineBuildID: meta.Binary.BuildID,
+		BaselineCycles:  baseCycles,
+		BaselineExit:    baseExit,
+	}
+
+	deployed := meta.Binary
+	deployedCycles := baseCycles
+	spec := core.RunSpec{Args: cfg.Args, MaxInsts: cfg.trainInsts(), LBRPeriod: cfg.lbrPeriod()}
+	fo := core.FleetOptions{
+		Hosts:           cfg.Hosts,
+		Shards:          cfg.Shards,
+		WorkersPerShard: cfg.WorkersPerShard,
+		QueueDepth:      cfg.QueueDepth,
+		LossRate:        cfg.LossRate,
+		DupRate:         cfg.DupRate,
+		Seed:            cfg.Seed,
+		BatchSamples:    cfg.BatchSamples,
+	}
+	var prevHot []string
+
+	for g := 1; g <= cfg.generations(); g++ {
+		gen := Generation{Index: g, ProfiledBuildID: deployed.BuildID}
+		if cfg.Service != nil {
+			cfg.Service.SetServing(deployed.BuildID, g)
+		}
+		store.AdvanceEpoch()
+
+		// Collect this epoch's fleet profile of the deployed binary. The
+		// fleetprof-level gate stays zero: admission is the scorer's job.
+		merged, _, ingest, err := core.CollectFleetProfile(deployed, spec, fo, false)
+		if err != nil {
+			return nil, fmt.Errorf("profsvc: gen %d collection: %w", g, err)
+		}
+		gen.EpochSamples = len(merged.Samples)
+
+		// Publish to the store and read back the decayed aggregate — over
+		// the wire when a client is configured.
+		var agg *profile.Profile
+		if cfg.Client != nil {
+			rep, err := cfg.Client.Publish(merged)
+			if err != nil {
+				return nil, fmt.Errorf("profsvc: gen %d publish: %w", g, err)
+			}
+			gen.Retained = rep.Retained
+			if agg, err = cfg.Client.Fetch(deployed.BuildID); err != nil {
+				return nil, fmt.Errorf("profsvc: gen %d fetch: %w", g, err)
+			}
+		} else {
+			if gen.Retained, err = store.Publish(merged); err != nil {
+				return nil, fmt.Errorf("profsvc: gen %d publish: %w", g, err)
+			}
+			var ok bool
+			if agg, ok = store.Profile(deployed.BuildID); !ok {
+				return nil, fmt.Errorf("profsvc: gen %d: store lost build %s", g, deployed.BuildID)
+			}
+		}
+
+		var lk *bbaddrmap.Lookup
+		if deployed.BBAddrMap != nil {
+			if m, err := bbaddrmap.Decode(deployed.BBAddrMap); err == nil {
+				lk = bbaddrmap.NewLookup(m)
+			}
+		}
+		gen.Admit = cfg.Scorer.Score(merged, agg, lk, ingest, cfg.hosts(), prevHot)
+		gen.GateOpen = gen.Admit.Ready
+		if !gen.Admit.Ready {
+			// Keep serving the current binary; the store keeps
+			// accumulating until the profile is representative.
+			gen.DeployedBuildID = deployed.BuildID
+			gen.DeployedCycles = deployedCycles
+			gen.SpeedupPct = speedupPct(baseCycles, deployedCycles)
+			out.Generations = append(out.Generations, gen)
+			continue
+		}
+
+		// Whole-program analysis of the aggregate against the deployed
+		// binary's BB address map, build ID enforced at the header.
+		wres, err := core.AnalyzeStreamed(deployed, agg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("profsvc: gen %d analysis: %w", g, err)
+		}
+		gen.LayoutSHA = layoutSHA(wres.Directives, wres.Order)
+
+		// Phase-4 relink: a new binary with a new content-hash build ID.
+		cand, nHot, nCold, err := core.Relink(p, irKeys, wres, opts)
+		if err != nil {
+			return nil, fmt.Errorf("profsvc: gen %d relink: %w", g, err)
+		}
+		gen.HotModules, gen.ColdModules = nHot, nCold
+		gen.CandidateBuildID = cand.Binary.BuildID
+
+		candCycles, candExit, err := measureBin(cand.Binary, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("profsvc: gen %d candidate run: %w", g, err)
+		}
+		if candExit != baseExit {
+			return nil, fmt.Errorf("profsvc: gen %d candidate changed the checksum: %d vs %d",
+				g, candExit, baseExit)
+		}
+		gen.CandidateCycles = candCycles
+
+		// Strict-improvement adoption: the candidate replaces the serving
+		// binary only when it is measurably better. Equal-performance
+		// alternates are never adopted, so the loop cannot oscillate and
+		// the deployed cycle count is monotone non-increasing.
+		if candCycles < deployedCycles {
+			deployed = cand.Binary
+			deployedCycles = candCycles
+			gen.Adopted = true
+		}
+		gen.DeployedBuildID = deployed.BuildID
+		gen.DeployedCycles = deployedCycles
+		gen.SpeedupPct = speedupPct(baseCycles, deployedCycles)
+
+		if n := len(out.Generations); n > 0 {
+			prev := out.Generations[n-1]
+			gen.FixedPoint = prev.CandidateBuildID == gen.CandidateBuildID &&
+				prev.DeployedBuildID == gen.DeployedBuildID
+		}
+		out.Generations = append(out.Generations, gen)
+
+		// Next generation's overlap reference: this generation's hot set.
+		prevHot = hotFuncs(merged, lk)
+	}
+
+	// The loop converged if a stable suffix reaches the final generation.
+	for i := len(out.Generations) - 1; i > 0; i-- {
+		if !out.Generations[i].FixedPoint {
+			break
+		}
+		out.FixedPoint = true
+		out.FixedPointGen = out.Generations[i].Index
+	}
+	out.Store = store.Stats()
+	return out, nil
+}
+
+func speedupPct(base, cur uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(cur)/float64(base))
+}
+
+// layoutSHA fingerprints a layout decision by hashing the exact bytes of
+// its cc_prof.txt and ld_prof.txt renderings.
+func layoutSHA(d layoutfile.Directives, o layoutfile.SymbolOrder) string {
+	var buf bytes.Buffer
+	layoutfile.WriteDirectives(&buf, d)
+	layoutfile.WriteOrder(&buf, o)
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
