@@ -1203,3 +1203,56 @@ func BenchmarkProfSvc(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIncremental replays a developer edit against warm
+// content-keyed analysis and relink caches (edit fraction x WPA workers,
+// cold vs warm): a 1%-of-functions edit must re-run Ext-TSP on a few
+// percent of the sampled functions, reproduce cc_prof.txt/ld_prof.txt
+// and the optimized binary byte-identically, and cut the modeled warm
+// relink makespan to a quarter of cold. It writes BENCH_incr.json (the
+// CI incr-smoke artifact, grepped for `"ok": true` in its smoke block).
+func BenchmarkIncremental(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		res, err := eval.IncrementalSweep(eval.IncrementalSweepConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		smoke := res.Smoke()
+		if !smoke.OK {
+			b.Fatalf("incremental smoke contract violated: %+v (stationary agg=%v global=%v)",
+				smoke, res.StationaryAggregateHit, res.StationaryGlobalHit)
+		}
+		// The sweep's hit arithmetic must reconcile with the cache's own
+		// counters: the recorded warm cell's hits are the cache's hits.
+		if res.CacheStats.Hits == 0 || res.CacheStats.Misses == 0 {
+			b.Fatalf("cache stats did not register the sweep: %+v", res.CacheStats)
+		}
+
+		fmt.Printf("Incremental (%s, %d modeled slots): stationary replay hit agg=%v global=%v\n",
+			res.Workload, res.Slots, res.StationaryAggregateHit, res.StationaryGlobalHit)
+		fmt.Printf("%9s %8s %7s %7s %8s %8s %7s %10s %10s %7s %6s\n",
+			"editFrac", "workers", "edited", "hits", "misses", "relaid", "hitRate",
+			"coldRelink", "warmRelink", "ratio", "ident")
+		for _, c := range res.Cells {
+			ident := c.IdenticalArtifacts && c.IdenticalBinary
+			fmt.Printf("%9.2f %8d %7d %7d %8d %8d %6.1f%% %9.2fs %9.2fs %6.1f%% %6v\n",
+				c.EditFrac, c.Workers, c.EditedFuncs, c.FuncLayoutHits, c.FuncLayoutMisses,
+				c.RelaidFuncs, 100*c.HitRate, c.ColdRelinkMakespan, c.WarmRelinkMakespan,
+				100*c.WarmColdRelinkRatio, ident)
+		}
+		b.ReportMetric(100*smoke.HitRate, "hitRate%")
+		b.ReportMetric(100*smoke.RelaidFrac, "relaid%")
+
+		f, err := os.Create("BENCH_incr.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = res.WriteBenchJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	wsc-bench -fig 7              # clang heat maps
 //	wsc-bench -spec
 //	wsc-bench -table 5 -workers 8 # parallel WPA (§4.7; 0 = all cores)
+//	wsc-bench -incr               # incremental edit-replay study, writes BENCH_incr.json
 package main
 
 import (
@@ -31,10 +32,15 @@ func main() {
 		noBolt  = flag.Bool("no-bolt", false, "skip the BOLT comparator arm")
 		workers = flag.Int("workers", 0, "WPA parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
 		fleet   = flag.Bool("fleet", false, "fleet-collection scaling sweep (hosts x ingest shards x loss), writes BENCH_fleetprof.json")
+		incr    = flag.Bool("incr", false, "incremental edit-replay sweep (edit fraction x WPA workers, cold vs warm caches), writes BENCH_incr.json")
 	)
 	flag.Parse()
 	if *fleet {
 		runFleetSweep()
+		return
+	}
+	if *incr {
+		runIncrSweep()
 		return
 	}
 	if !*all && *table == 0 && *fig == 0 && !*spec {
@@ -129,6 +135,47 @@ func runFleetSweep() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "wsc-bench: wrote BENCH_fleetprof.json")
+}
+
+// runIncrSweep regenerates the incremental-build study (the
+// BenchmarkIncremental artifact): replayed edits of several sizes against
+// warm content-keyed analysis and relink caches, cold vs warm.
+func runIncrSweep() {
+	fmt.Fprintln(os.Stderr, "wsc-bench: incremental edit-replay sweep (edit fraction x workers)...")
+	res, err := eval.IncrementalSweep(eval.IncrementalSweepConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: incremental sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("incremental sweep on %s (%d modeled slots); stationary replay hit agg=%v global=%v\n",
+		res.Workload, res.Slots, res.StationaryAggregateHit, res.StationaryGlobalHit)
+	fmt.Printf("%9s %8s %7s %8s %8s %10s %10s %7s %6s\n",
+		"editFrac", "workers", "edited", "hitRate", "relaid", "coldRelink", "warmRelink", "ratio", "ident")
+	for _, c := range res.Cells {
+		fmt.Printf("%9.2f %8d %7d %7.1f%% %8d %9.2fs %9.2fs %6.1f%% %6v\n",
+			c.EditFrac, c.Workers, c.EditedFuncs, 100*c.HitRate, c.RelaidFuncs,
+			c.ColdRelinkMakespan, c.WarmRelinkMakespan, 100*c.WarmColdRelinkRatio,
+			c.IdenticalArtifacts && c.IdenticalBinary)
+	}
+	smoke := res.Smoke()
+	if !smoke.OK {
+		fmt.Fprintf(os.Stderr, "wsc-bench: incremental smoke contract violated: %+v\n", smoke)
+		os.Exit(1)
+	}
+	f, err := os.Create("BENCH_incr.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	err = res.WriteBenchJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wsc-bench: wrote BENCH_incr.json")
 }
 
 func pickSet(set string) []workload.Spec {

@@ -1,0 +1,236 @@
+// wsc-benchdiff is the bench-regression gate: it compares the modeled
+// (deterministic) metrics of freshly generated BENCH_*.json artifacts
+// against committed snapshots in bench_baselines/ and fails on any drift
+// beyond a per-metric tolerance (default: exact equality).
+//
+// Metrics are the flattened scalar leaves of each artifact; any key whose
+// path contains "measured" is a wall-clock reading and is excluded — the
+// gate compares the cost model and the optimizer's decisions, never the
+// machine the benchmark happened to run on.
+//
+// Usage:
+//
+//	wsc-benchdiff -update                 # snapshot current artifacts as the baseline
+//	wsc-benchdiff                         # compare; exit 1 on regression
+//	wsc-benchdiff -tol 'speedup=0.001'    # allow 0.1% relative drift on matching metrics
+//	wsc-benchdiff BENCH_incr.json         # gate a single artifact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultArtifacts are the five bench-smoke outputs.
+var defaultArtifacts = []string{
+	"BENCH_buildsys.json",
+	"BENCH_wpa.json",
+	"BENCH_fleetprof.json",
+	"BENCH_profsvc.json",
+	"BENCH_incr.json",
+}
+
+// tolerances maps a metric-path substring to an allowed relative drift.
+type tolerances []struct {
+	pattern string
+	frac    float64
+}
+
+func (t *tolerances) String() string { return fmt.Sprint(*t) }
+
+func (t *tolerances) Set(v string) error {
+	pat, frac, ok := strings.Cut(v, "=")
+	if !ok || pat == "" {
+		return fmt.Errorf("want pattern=fraction, got %q", v)
+	}
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil || f < 0 {
+		return fmt.Errorf("bad tolerance fraction %q", frac)
+	}
+	*t = append(*t, struct {
+		pattern string
+		frac    float64
+	}{pat, f})
+	return nil
+}
+
+// for returns the first matching tolerance (0 = exact).
+func (t tolerances) lookup(key string) float64 {
+	for _, e := range t {
+		if strings.Contains(key, e.pattern) {
+			return e.frac
+		}
+	}
+	return 0
+}
+
+func main() {
+	var (
+		baseDir = flag.String("baselines", "bench_baselines", "baseline snapshot directory")
+		update  = flag.Bool("update", false, "rewrite the baselines from the current artifacts")
+		tols    tolerances
+	)
+	flag.Var(&tols, "tol", "per-metric tolerance as pathSubstring=relativeFraction (repeatable; unmatched metrics compare exactly)")
+	flag.Parse()
+
+	artifacts := flag.Args()
+	if len(artifacts) == 0 {
+		artifacts = defaultArtifacts
+	}
+
+	failed := false
+	for _, art := range artifacts {
+		metrics, err := loadMetrics(art)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsc-benchdiff: %s: %v\n", art, err)
+			os.Exit(1)
+		}
+		basePath := filepath.Join(*baseDir, filepath.Base(art))
+		if *update {
+			if err := writeBaseline(basePath, metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "wsc-benchdiff: %s: %v\n", basePath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: snapshot of %d metrics written to %s\n", art, len(metrics), basePath)
+			continue
+		}
+		base, err := readBaseline(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsc-benchdiff: %s: %v (run -update to create it)\n", basePath, err)
+			failed = true
+			continue
+		}
+		bad := diff(base, metrics, tols)
+		extra := 0
+		for k := range metrics {
+			if _, ok := base[k]; !ok {
+				extra++
+			}
+		}
+		if len(bad) > 0 {
+			failed = true
+			fmt.Printf("%s: %d metric(s) regressed against %s:\n", art, len(bad), basePath)
+			for _, d := range bad {
+				fmt.Printf("  %s\n", d)
+			}
+		} else {
+			fmt.Printf("%s: %d metrics match %s", art, len(base), basePath)
+			if extra > 0 {
+				fmt.Printf(" (%d new metrics not yet gated)", extra)
+			}
+			fmt.Println()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadMetrics flattens an artifact's deterministic scalar leaves.
+func loadMetrics(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	out := map[string]any{}
+	flatten("", v, out)
+	return out, nil
+}
+
+// flatten walks the JSON value, recording scalar leaves under dotted
+// paths. Keys containing "measured" (case-insensitive) are wall-clock
+// readings and are skipped.
+func flatten(prefix string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			if strings.Contains(strings.ToLower(k), "measured") {
+				continue
+			}
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+func writeBaseline(path string, metrics map[string]any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readBaseline(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// diff reports baseline metrics that are missing or out of tolerance in
+// the current run, sorted by path for stable output.
+func diff(base, cur map[string]any, tols tolerances) []string {
+	var out []string
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		want := base[k]
+		got, ok := cur[k]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing (baseline %v)", k, want))
+			continue
+		}
+		wf, wantNum := want.(float64)
+		gf, gotNum := got.(float64)
+		if wantNum && gotNum {
+			tol := tols.lookup(k)
+			if !within(wf, gf, tol) {
+				out = append(out, fmt.Sprintf("%s: %v, baseline %v (tolerance %g)", k, gf, wf, tol))
+			}
+			continue
+		}
+		if want != got {
+			out = append(out, fmt.Sprintf("%s: %v, baseline %v", k, got, want))
+		}
+	}
+	return out
+}
+
+func within(want, got, tol float64) bool {
+	if want == got {
+		return true
+	}
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}

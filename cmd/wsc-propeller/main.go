@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"propeller/internal/core"
+	"propeller/internal/eval"
 	"propeller/internal/fleetprof"
 	"propeller/internal/ir"
 	"propeller/internal/layoutfile"
@@ -56,8 +57,15 @@ func main() {
 		fleetLoss  = flag.Float64("fleet-loss", 0, "transport delivery loss rate in [0,1) (with -fleet-hosts)")
 		fleetMinS  = flag.Int64("fleet-min-samples", 0, "admission gate: minimum total accepted samples")
 		statuszAt  = flag.String("statusz-addr", "", "serve the fleet ingestion /statusz snapshot over HTTP on this address, e.g. 127.0.0.1:8345 (with -fleet-hosts)")
+		warm       = flag.Bool("warm", false, "edit-replay mode: re-run analysis+relink of a replayed -edit-frac edit against warm content-keyed caches (requires -workload)")
+		editFrac   = flag.Float64("edit-frac", 0.01, "fraction of functions the replayed edit touches (with -warm)")
 	)
 	flag.Parse()
+
+	if *warm {
+		runWarmReplay(*wl, *editFrac, *workers)
+		return
+	}
 
 	prog, err := loadProgram(*wl, *irDir, *entry)
 	if err != nil {
@@ -171,6 +179,55 @@ func loadProgram(wl, irDir, entry string) (*core.Program, error) {
 		p.Modules = append(p.Modules, m)
 	}
 	return p, nil
+}
+
+// runWarmReplay is the -warm mode: replay an editFrac-sized edit of the
+// named workload against warm content-keyed analysis and relink caches
+// and report the incremental accounting — what a developer's rebuild of a
+// small change costs once the caches are hot.
+func runWarmReplay(wl string, editFrac float64, workers int) {
+	if wl == "" {
+		fatalf("-warm requires -workload (the edit is replayed onto a regenerated program)")
+	}
+	spec, err := findSpec(wl)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("propeller: warm edit-replay on %s (%.1f%% of functions edited)...\n", wl, 100*editFrac)
+	res, err := eval.IncrementalSweep(eval.IncrementalSweepConfig{
+		Spec:      spec,
+		EditFracs: []float64{editFrac},
+		Workers:   []int{workers},
+	})
+	if err != nil {
+		fatalf("warm replay: %v", err)
+	}
+	c := res.Cells[0]
+	fmt.Printf("edit: %d functions touched; profile covers %d functions\n", c.EditedFuncs, c.SampledFuncs)
+	fmt.Printf("analysis: %d layout hits, %d misses (%.1f%% hit rate); Ext-TSP re-ran on %d functions (%.1f%%)\n",
+		c.FuncLayoutHits, c.FuncLayoutMisses, 100*c.HitRate, c.RelaidFuncs, 100*c.RelaidFrac)
+	fmt.Printf("relink: %d/%d hot objects from cache; modeled makespan %.2fs warm vs %.2fs cold (%.1f%%)\n",
+		c.HotReused, c.HotModules, c.WarmRelinkMakespan, c.ColdRelinkMakespan, 100*c.WarmColdRelinkRatio)
+	fmt.Printf("artifacts byte-identical to cold: cc_prof/ld_prof %v, optimized binary %v\n",
+		c.IdenticalArtifacts, c.IdenticalBinary)
+	if !c.IdenticalArtifacts || !c.IdenticalBinary {
+		fatalf("warm outputs diverged from cold")
+	}
+}
+
+// findSpec resolves a workload name against the catalog (plus tiny).
+func findSpec(wl string) (workload.Spec, error) {
+	specs := append(workload.Catalog(), workload.Tiny())
+	for i := range specs {
+		if specs[i].Name == wl {
+			return specs[i], nil
+		}
+	}
+	var names []string
+	for _, s := range specs {
+		names = append(names, s.Name)
+	}
+	return workload.Spec{}, fmt.Errorf("unknown workload %q (have: %s)", wl, strings.Join(names, ", "))
 }
 
 func run(bin *objfile.Binary, maxInsts uint64) *sim.Result {

@@ -1,6 +1,7 @@
 package buildsys
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -101,5 +102,75 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	if st.Entries != writers*perWriter || st.Bytes != int64(2*writers*perWriter) {
 		t.Errorf("entries=%d bytes=%d", st.Entries, st.Bytes)
+	}
+}
+
+// TestCacheKeyChurnUnderEpochs replays the incremental analyzer's access
+// pattern on a budget-bounded cache: the same function content hashes
+// re-put under successive profile-epoch keys. Every epoch adds a fresh
+// entry per function (the old epoch's entries go stale, they are never
+// overwritten), so the budget must evict oldest-epoch entries with exact
+// accounting: bytes resident + bytes evicted == bytes inserted, and the
+// hit/miss counters must reconcile with the replayed access arithmetic.
+func TestCacheKeyChurnUnderEpochs(t *testing.T) {
+	const funcs = 8
+	entry := bytes.Repeat([]byte{0xAB}, 100)
+	// Budget holds exactly two epochs' worth of per-function entries.
+	c := NewCacheWithBudget(int64(2 * funcs * len(entry)))
+
+	var inserted int64
+	key := func(epoch, fn int) string {
+		return KeyStrings("layout", fmt.Sprintf("epoch-%d", epoch), fmt.Sprintf("hash-%d", fn))
+	}
+	var wantHits, wantMisses int64
+	for epoch := 1; epoch <= 4; epoch++ {
+		for fn := 0; fn < funcs; fn++ {
+			// Warm re-analysis: probe this epoch's key, then publish.
+			if _, ok := c.Get(key(epoch, fn)); ok {
+				t.Fatalf("epoch %d fn %d: hit before put", epoch, fn)
+			}
+			wantMisses++
+			c.Put(key(epoch, fn), entry)
+			inserted += int64(len(entry))
+			// Same-epoch re-analysis: must hit.
+			if _, ok := c.Get(key(epoch, fn)); !ok {
+				t.Fatalf("epoch %d fn %d: miss after put", epoch, fn)
+			}
+			wantHits++
+		}
+	}
+	st := c.Stats()
+	if st.Hits != wantHits || st.Misses != wantMisses {
+		t.Errorf("hits/misses = %d/%d, want %d/%d", st.Hits, st.Misses, wantHits, wantMisses)
+	}
+	// Exact byte conservation: everything inserted is either resident or
+	// accounted as evicted.
+	if st.Bytes+st.EvictedBytes != inserted {
+		t.Errorf("bytes %d + evicted %d != inserted %d", st.Bytes, st.EvictedBytes, inserted)
+	}
+	// Two epochs fit; two epochs' worth of older entries must have been
+	// evicted, entry by entry.
+	if st.Evictions != 2*funcs {
+		t.Errorf("evictions = %d, want %d", st.Evictions, 2*funcs)
+	}
+	if st.Entries != 2*funcs {
+		t.Errorf("entries = %d, want %d", st.Entries, 2*funcs)
+	}
+	// The stale epochs are gone, the recent two are resident.
+	for fn := 0; fn < funcs; fn++ {
+		if c.Contains(key(1, fn)) || c.Contains(key(2, fn)) {
+			t.Fatalf("fn %d: stale epoch entry still resident", fn)
+		}
+		if !c.Contains(key(3, fn)) || !c.Contains(key(4, fn)) {
+			t.Fatalf("fn %d: recent epoch entry evicted", fn)
+		}
+	}
+	// Re-putting an identical (key, value) pair must not double-count
+	// resident bytes.
+	before := c.Stats()
+	c.Put(key(4, 0), entry)
+	after := c.Stats()
+	if after.Bytes != before.Bytes || after.Entries != before.Entries {
+		t.Errorf("idempotent re-put changed accounting: %+v vs %+v", after, before)
 	}
 }

@@ -197,3 +197,68 @@ func TestExecStatsAccounting(t *testing.T) {
 		t.Errorf("Makespan = %v, want 4", stats.Makespan)
 	}
 }
+
+func TestExecuteCriticalPathImprovesBimodalMakespan(t *testing.T) {
+	// A warm relink's batch: one expensive rebuilt module behind a crowd
+	// of near-free cache fetches. FIFO list scheduling queues the long
+	// action behind the crowd; LPT starts it at t=0.
+	var actions []*Action
+	for i := 0; i < 8; i++ {
+		actions = append(actions, &Action{Name: "fetch", Cost: 1})
+	}
+	long := &Action{Name: "rebuild", Cost: 10}
+	actions = append(actions, long)
+
+	e := &Executor{Slots: 2}
+	fifo, err := e.Execute(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := e.ExecuteCriticalPath(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO: 8 fetches over 2 slots (4s), then the rebuild → 14s.
+	// LPT: rebuild starts at t=0 on one slot, fetches fill the other → 10s.
+	if fifo.Makespan != 14 {
+		t.Errorf("FIFO makespan = %v, want 14", fifo.Makespan)
+	}
+	if lpt.Makespan != 10 {
+		t.Errorf("LPT makespan = %v, want 10", lpt.Makespan)
+	}
+	if lpt.TotalCost != fifo.TotalCost || lpt.Actions != fifo.Actions {
+		t.Errorf("LPT changed the work accounting: %+v vs %+v", lpt, fifo)
+	}
+	// The caller's slice must not be reordered.
+	if actions[len(actions)-1] != long {
+		t.Error("ExecuteCriticalPath mutated the caller's action order")
+	}
+}
+
+func TestExecuteCriticalPathRunsEverythingDeterministically(t *testing.T) {
+	var ran int32
+	var actions []*Action
+	for i := 0; i < 20; i++ {
+		cost := float64(i % 3)
+		actions = append(actions, &Action{
+			Name: "a",
+			Cost: cost,
+			Run:  func() error { atomic.AddInt32(&ran, 1); return nil },
+		})
+	}
+	e := &Executor{Slots: 4}
+	s1, err := e.ExecuteCriticalPath(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.ExecuteCriticalPath(actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&ran) != 40 {
+		t.Errorf("ran %d actions, want 40", ran)
+	}
+	if s1.Makespan != s2.Makespan || s1.TotalCost != s2.TotalCost {
+		t.Errorf("non-deterministic stats: %+v vs %+v", s1, s2)
+	}
+}

@@ -134,6 +134,11 @@ type BuildResult struct {
 	// Backends/Linking split the modeled cost as Fig. 9 reports it.
 	Backends float64
 	Linking  float64
+
+	// HotReused counts hot modules whose Phase-4 object came from the
+	// content-keyed relink cache instead of re-running codegen (always
+	// zero for Phase-2 builds).
+	HotReused int
 }
 
 // Result is the complete Propeller pipeline outcome.
@@ -385,6 +390,27 @@ func objCacheKey(irKey string) string {
 	return buildsys.KeyStrings("obj-labels", irKey)
 }
 
+// listObjCacheKey keys a Phase-4 hot-module object by everything that
+// shapes its codegen output: the module's IR content key plus the layout
+// inputs that apply to this module — its functions' cluster directives,
+// its prefetch-insertion sites, and the data-in-code setting. A warm
+// relink whose directives for a module are unchanged (the usual case
+// after a small edit: layouts of untouched functions are byte-identical)
+// reuses the previous relink's object from the cache instead of running
+// codegen again.
+func listObjCacheKey(irKey string, m *ir.Module, dirs layoutfile.Directives, opts Options) string {
+	parts := []string{"obj-list", irKey, fmt.Sprintf("dic=%t", !opts.NoDataInCode)}
+	for _, f := range m.Funcs {
+		if spec, ok := dirs[f.Name]; ok {
+			parts = append(parts, fmt.Sprintf("d:%s:%v", f.Name, spec.Clusters))
+		}
+		if sites, ok := opts.prefetchDirectives[f.Name]; ok {
+			parts = append(parts, fmt.Sprintf("p:%s:%v", f.Name, sites))
+		}
+	}
+	return buildsys.KeyStrings(parts...)
+}
+
 // CollectProfile runs the metadata binary under representative load with
 // the LBR sampler enabled (Phase 3's profiling half). trackMisses also
 // records the §3.5 cache-miss profile.
@@ -426,6 +452,14 @@ func Analyze(bin *objfile.Binary, prof *profile.Profile, opts Options) (*wpa.Res
 // Relink is Phase 4: hot modules are re-generated with cluster directives
 // from cached IR; cold objects come straight from the object cache; the
 // final link applies the global symbol order and drops cold metadata.
+//
+// Phase-4 objects are themselves cached under (IR content, module
+// directives, prefetch sites), so a warm relink after a small edit only
+// re-runs codegen for hot modules whose layout inputs actually changed
+// (BuildResult.HotReused counts the rest). The backend batch is
+// scheduled critical-path-first: the few expensive rebuilds start ahead
+// of the crowd of near-free fetches, so the warm makespan approaches the
+// cost of the changed modules alone.
 func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildResult, int, int, error) {
 	exec := opts.executor()
 	if opts.IRCache == nil || opts.ObjCache == nil {
@@ -444,7 +478,7 @@ func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildR
 	objs := make([]*objfile.Object, len(p.Modules))
 	var actions []*buildsys.Action
 	var backendCost float64
-	nHot, nCold := 0, 0
+	nHot, nCold, nHotReused := 0, 0, 0
 	for i := range p.Modules {
 		i := i
 		m := p.Modules[i]
@@ -472,6 +506,23 @@ func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildR
 		}
 		nHot++
 		hotNames[m.Name] = true
+		listKey := listObjCacheKey(irKeys[i], m, res.Directives, opts)
+		if data, fetchCost, ok := opts.ObjCache.GetCost(listKey); ok {
+			if obj, err := objfile.DecodeObject(data); err == nil {
+				// Warm relink: this hot module's layout inputs are
+				// unchanged since the last relink — reuse its object.
+				objs[i] = obj
+				nHotReused++
+				if fetchCost > 0 {
+					backendCost += fetchCost
+					actions = append(actions, &buildsys.Action{
+						Name: "fetch:" + m.Name,
+						Cost: fetchCost,
+					})
+				}
+				continue
+			}
+		}
 		irData, irFetch, ok := opts.IRCache.GetCost(irKeys[i])
 		if !ok {
 			return nil, 0, 0, fmt.Errorf("core: IR cache miss for hot module %s", m.Name)
@@ -498,11 +549,12 @@ func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildR
 					return err
 				}
 				objs[i] = obj
+				opts.ObjCache.Put(listKey, objfile.EncodeObject(obj))
 				return nil
 			},
 		})
 	}
-	execStats, err := exec.Execute(actions)
+	execStats, err := exec.ExecuteCriticalPath(actions)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -517,12 +569,13 @@ func Relink(p *Program, irKeys []string, res *wpa.Result, opts Options) (*BuildR
 		return nil, 0, 0, err
 	}
 	return &BuildResult{
-		Binary:   bin,
-		Objects:  objs,
-		Exec:     execStats,
-		Link:     lst,
-		Backends: backendCost,
-		Linking:  linkCost,
+		Binary:    bin,
+		Objects:   objs,
+		Exec:      execStats,
+		Link:      lst,
+		Backends:  backendCost,
+		Linking:   linkCost,
+		HotReused: nHotReused,
 	}, nHot, nCold, nil
 }
 

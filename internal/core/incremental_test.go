@@ -69,3 +69,44 @@ func TestOptimizedBinaryStrippable(t *testing.T) {
 		t.Errorf("stripped binary behaves differently: %d vs %d", got, want)
 	}
 }
+
+// A warm relink of the same layout must serve every hot module's Phase-4
+// object from the content-keyed relink cache — no codegen re-runs — and
+// reproduce the optimized binary byte-identically (same content-hash
+// build ID).
+func TestWarmRelinkReusesHotObjects(t *testing.T) {
+	p := multiModuleProgram()
+	opts := Options{
+		IRCache:  buildsys.NewCache(),
+		ObjCache: buildsys.NewCache(),
+	}
+	train := RunSpec{MaxInsts: 20_000_000, LBRPeriod: 211}
+
+	cold, err := Optimize(p, train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Optimized.HotReused != 0 {
+		t.Errorf("cold relink reported %d reused hot objects", cold.Optimized.HotReused)
+	}
+	if cold.HotModules == 0 {
+		t.Fatal("workload produced no hot modules; test is vacuous")
+	}
+	warm, err := Optimize(p, train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Optimized.HotReused != warm.HotModules {
+		t.Errorf("warm relink reused %d of %d hot modules",
+			warm.Optimized.HotReused, warm.HotModules)
+	}
+	if warm.Optimized.Binary.BuildID != cold.Optimized.Binary.BuildID {
+		t.Errorf("warm relink changed the binary: %s vs %s",
+			warm.Optimized.Binary.BuildID, cold.Optimized.Binary.BuildID)
+	}
+	// The reused path must be cheaper on the modeled backend makespan.
+	if warm.Optimized.Exec.Makespan >= cold.Optimized.Exec.Makespan {
+		t.Errorf("warm Phase-4 makespan %.3f not below cold %.3f",
+			warm.Optimized.Exec.Makespan, cold.Optimized.Exec.Makespan)
+	}
+}

@@ -61,11 +61,17 @@ type FleetPoint struct {
 	Shards   int     `json:"shards"`
 	LossRate float64 `json:"lossRate"`
 
-	AcceptedBatches  int64 `json:"acceptedBatches"`
-	AcceptedSamples  int64 `json:"acceptedSamples"`
-	DuplicateBatches int64 `json:"duplicateBatches"`
+	AcceptedBatches int64 `json:"acceptedBatches"`
+	AcceptedSamples int64 `json:"acceptedSamples"`
+	// DuplicateBatches counts dup copies the service deduplicated; a dup
+	// arriving at a momentarily full queue vanishes uncounted, so the
+	// count depends on real scheduling — "measured" keeps it out of the
+	// benchdiff gate (planned dups are deterministic, observed ones not).
+	DuplicateBatches int64 `json:"measuredDuplicateBatches"`
 	LostDeliveries   int64 `json:"lostDeliveries"`
-	RetriedSends     int64 `json:"retriedSends"`
+	// RetriedSends includes queue-full retries, which depend on real
+	// scheduling; the "measured" tag keeps it out of the benchdiff gate.
+	RetriedSends int64 `json:"measuredRetriedSends"`
 
 	// MakespanSeconds is the modeled collection+ingestion wall time at
 	// this shard count (monotone non-increasing in Shards by model).
@@ -155,6 +161,14 @@ func FleetSweep(cfg FleetSweepConfig) ([]FleetPoint, *objfile.Binary, error) {
 						Host:         h,
 						Profile:      profiles[h],
 						BatchSamples: cfg.BatchSamples,
+						// The sweep's contract is a bit-identical merged
+						// profile at every shard count; the bounded-retry
+						// drop/adapt path depends on real scheduling (64
+						// hosts can outrun one queue's drain rate), so the
+						// sweep retries until the queue drains, like the
+						// makespan it reports measures modeled time, not
+						// real stalls.
+						MaxAttempts: 1 << 30,
 					}
 				}
 				st, err := fleetprof.RunFleet(collectors, fleetprof.Transport{

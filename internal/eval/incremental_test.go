@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+
+	"propeller/internal/workload"
+)
+
+// TestIncrementalSweepTiny runs the edit-replay protocol on the tiny
+// workload: warm results must be byte-identical to cold at every worker
+// count, the stationary replay must be a full cache hit, and the sweep's
+// hit arithmetic must reconcile exactly with the analysis cache's own
+// counters.
+func TestIncrementalSweepTiny(t *testing.T) {
+	res, err := IncrementalSweep(IncrementalSweepConfig{
+		Spec:       workload.Tiny(),
+		EditFracs:  []float64{0.10},
+		Workers:    []int{1, 3},
+		TrainInsts: 20_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(res.Cells))
+	}
+	if !res.StationaryAggregateHit || !res.StationaryGlobalHit {
+		t.Errorf("stationary replay missed: agg=%v global=%v",
+			res.StationaryAggregateHit, res.StationaryGlobalHit)
+	}
+	for _, c := range res.Cells {
+		if !c.IdenticalArtifacts {
+			t.Errorf("workers=%d: warm artifacts differ from cold", c.Workers)
+		}
+		if !c.IdenticalBinary {
+			t.Errorf("workers=%d: warm binary differs from cold", c.Workers)
+		}
+		if c.EditedFuncs == 0 || c.SampledFuncs == 0 {
+			t.Errorf("workers=%d: degenerate cell %+v", c.Workers, c)
+		}
+		if c.FuncLayoutHits == 0 {
+			t.Errorf("workers=%d: no unchanged function reused its layout", c.Workers)
+		}
+		if c.GlobalCacheHit {
+			t.Errorf("workers=%d: edited binary hit the global layout key", c.Workers)
+		}
+		// Tiny's hot set fits one executor wave, so the makespans can tie;
+		// warm must never be worse. (The clang-scale separation is asserted
+		// by the benchmark's smoke contract.)
+		if c.WarmRelinkMakespan > c.ColdRelinkMakespan {
+			t.Errorf("workers=%d: warm relink makespan %.3f above cold %.3f",
+				c.Workers, c.WarmRelinkMakespan, c.ColdRelinkMakespan)
+		}
+		if c.HotReused == 0 {
+			t.Errorf("workers=%d: warm relink reused no hot objects", c.Workers)
+		}
+	}
+	// Worker count must not change any deterministic cell metric.
+	a, b := res.Cells[0], res.Cells[1]
+	a.Workers, b.Workers = 0, 0
+	a.ColdAnalysisSeconds, b.ColdAnalysisSeconds = 0, 0
+	a.WarmAnalysisSeconds, b.WarmAnalysisSeconds = 0, 0
+	if a != b {
+		t.Errorf("cells differ across worker counts:\n%+v\n%+v", a, b)
+	}
+
+	// Cache reconciliation (CacheStats is the first cell's warm cache):
+	// hits == the warm run's per-function layout hits; misses == the
+	// populate run's misses (SampledFuncs per-function probes + 1 global)
+	// plus the warm run's (FuncLayoutMisses + 1 global).
+	c := res.Cells[0]
+	if res.CacheStats.Hits != int64(c.FuncLayoutHits) {
+		t.Errorf("cache hits %d != funcLayoutHits %d", res.CacheStats.Hits, c.FuncLayoutHits)
+	}
+	wantMisses := int64(c.SampledFuncs + c.FuncLayoutMisses + 2)
+	if res.CacheStats.Misses != wantMisses {
+		t.Errorf("cache misses %d != %d (populate %d+1, warm %d+1)",
+			res.CacheStats.Misses, wantMisses, c.SampledFuncs, c.FuncLayoutMisses)
+	}
+}
+
+// TestIncrementalSmokeAndJSON checks the CI contract evaluation and the
+// artifact shape.
+func TestIncrementalSmokeAndJSON(t *testing.T) {
+	res := &IncrementalResult{
+		Workload:               "x",
+		StationaryAggregateHit: true,
+		StationaryGlobalHit:    true,
+		Cells: []IncrementalCell{
+			{EditFrac: 0.01, Workers: 1, HitRate: 0.95, RelaidFrac: 0.02,
+				IdenticalArtifacts: true, IdenticalBinary: true, WarmColdRelinkRatio: 0.10},
+			{EditFrac: 0.20, Workers: 1, HitRate: 0.50, RelaidFrac: 0.50,
+				IdenticalArtifacts: true, IdenticalBinary: true, WarmColdRelinkRatio: 0.60},
+		},
+	}
+	s := res.Smoke()
+	if !s.OK || !s.HitRateOK || !s.RelaidOK || !s.Identical || !s.RelinkOK {
+		t.Errorf("smoke on passing sweep: %+v", s)
+	}
+	if s.EditFrac != 0.01 {
+		t.Errorf("smoke evaluated cell %g, want the smallest edit", s.EditFrac)
+	}
+	res.Cells[0].HitRate = 0.5
+	if s := res.Smoke(); s.OK || s.HitRateOK {
+		t.Errorf("smoke missed the hit-rate violation: %+v", s)
+	}
+	res.Cells[0].HitRate = 0.95
+	res.Cells[1].IdenticalBinary = false
+	if s := res.Smoke(); s.OK || !s.Identical == false {
+		t.Errorf("smoke missed the identity violation on a non-smoke cell: %+v", s)
+	}
+	res.Cells[1].IdenticalBinary = true
+
+	var buf bytes.Buffer
+	if err := res.WriteBenchJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"benchmark": "Incremental"`, `"smoke"`, `"ok": true`, `"records"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("artifact missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package exttsp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// graphFromBytes decodes an arbitrary byte string into a small CFG-like
+// graph deterministically, so the fuzzer explores graph shapes (including
+// self-loops, duplicate edges, zero weights, and disconnected nodes)
+// rather than raw memory-safety only.
+func graphFromBytes(data []byte) (*Graph, int) {
+	if len(data) < 2 {
+		return nil, 0
+	}
+	n := 2 + int(data[0])%62
+	forced := -1
+	if data[1]%3 == 0 {
+		forced = int(data[1]/3) % n
+	}
+	g := &Graph{Nodes: make([]Node, n)}
+	i := 2
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	for j := range g.Nodes {
+		g.Nodes[j] = Node{Size: int64(1 + next()), Count: uint64(next())}
+	}
+	for i < len(data)-2 {
+		g.Edges = append(g.Edges, Edge{
+			Src:    int(next()) % n,
+			Dst:    int(next()) % n,
+			Weight: uint64(next()),
+		})
+	}
+	return g, forced
+}
+
+// FuzzHeapNaiveEquivalence is the retrieval-equivalence property as a
+// fuzz target: on any decoded graph, the heap-based logarithmic retrieval
+// and the naive quadratic rescan must produce identical layouts with
+// equal Ext-TSP scores — the §4.7 speedup must be purely about retrieval
+// cost, never about which merge wins.
+func FuzzHeapNaiveEquivalence(f *testing.F) {
+	f.Add([]byte{8, 0, 10, 5, 20, 9, 30, 1, 40, 7, 0, 1, 50, 1, 2, 40, 2, 3, 30})
+	f.Add([]byte{3, 3, 1, 1, 1, 1, 1, 1, 0, 0, 9, 1, 1, 9})
+	f.Add([]byte{64, 6, 255, 255, 0, 0, 128, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, forced := graphFromBytes(data)
+		if g == nil {
+			return
+		}
+		on, err := Layout(g, Options{ForcedFirst: forced})
+		if err != nil {
+			t.Fatalf("naive layout: %v", err)
+		}
+		oh, err := Layout(g, Options{ForcedFirst: forced, UseHeap: true})
+		if err != nil {
+			t.Fatalf("heap layout: %v", err)
+		}
+		if !reflect.DeepEqual(on, oh) {
+			t.Fatalf("retrieval strategies diverged (n=%d forced=%d)\nnaive %v\nheap  %v",
+				len(g.Nodes), forced, on, oh)
+		}
+		scratch := &Scratch{}
+		if sn, sh := ScoreWith(g, on, scratch), ScoreWith(g, oh, scratch); sn != sh {
+			t.Fatalf("scores diverged: naive %v heap %v", sn, sh)
+		}
+	})
+}

@@ -275,17 +275,23 @@ func (c *Collector) deliver(svc *Service, b Batch, st *CollectorStats) (dropped 
 // first so failures are deterministic too.
 func RunFleet(collectors []*Collector, t Transport, svc *Service) (IngestStats, error) {
 	errs := make([]error, len(collectors))
+	stats := make([]CollectorStats, len(collectors))
 	var wg sync.WaitGroup
 	for i, c := range collectors {
 		wg.Add(1)
 		go func(i int, c *Collector) {
 			defer wg.Done()
-			cs, err := c.Run(t, svc)
-			svc.foldClient(cs)
-			errs[i] = err
+			stats[i], errs[i] = c.Run(t, svc)
 		}(i, c)
 	}
 	wg.Wait()
+	// Fold in collector order, not completion order: the aggregate sums
+	// floats (ModeledSendSeconds), and float addition is order-dependent
+	// in the last ulp — folding as goroutines finish would make the
+	// modeled time irreproducible across runs.
+	for _, cs := range stats {
+		svc.foldClient(cs)
+	}
 	svc.Drain()
 	for _, err := range errs {
 		if err != nil {

@@ -129,14 +129,16 @@ type Service struct {
 	duplicates      atomic.Int64
 	queueFull       atomic.Int64
 
-	// Modeled ingest cost accumulates only over accepted batches, so it
-	// is identical at every shard/worker count and under every injected
-	// fault pattern (duplicates and rejects never contribute).
-	ingestCostMu  sync.Mutex
-	ingestCost    float64
-	maxBatchCost  float64
-	clientStatsMu sync.Mutex
-	clientStats   clientAggregate
+	// Modeled ingest cost counts only accepted batches, so it is
+	// identical at every shard/worker count and under every injected
+	// fault pattern (duplicates and rejects never contribute). Only the
+	// integer record maximum is tracked here; the float cost is derived
+	// from the accepted totals in Stats(), because summing per-batch
+	// float costs in worker-completion order would make the modeled
+	// time irreproducible in the last ulp.
+	maxBatchRecords atomic.Int64
+	clientStatsMu   sync.Mutex
+	clientStats     clientAggregate
 
 	drained bool
 }
@@ -241,13 +243,12 @@ func (s *Service) ingest(sh *shard, b Batch) {
 	s.acceptedSamples.Add(int64(len(p.Samples)))
 	s.acceptedRecords.Add(int64(records))
 
-	cost := IngestBatchBaseSeconds + float64(records)*IngestPerRecordSeconds
-	s.ingestCostMu.Lock()
-	s.ingestCost += cost
-	if cost > s.maxBatchCost {
-		s.maxBatchCost = cost
+	for {
+		cur := s.maxBatchRecords.Load()
+		if int64(records) <= cur || s.maxBatchRecords.CompareAndSwap(cur, int64(records)) {
+			break
+		}
 	}
-	s.ingestCostMu.Unlock()
 }
 
 // Drain closes the shard queues and waits for every in-flight batch to be
@@ -378,10 +379,13 @@ func (s *Service) Stats() IngestStats {
 		}
 		sh.mu.Unlock()
 	}
-	s.ingestCostMu.Lock()
-	st.ModeledIngestSeconds = s.ingestCost
-	st.MaxBatchIngestSeconds = s.maxBatchCost
-	s.ingestCostMu.Unlock()
+	// Derived from order-independent integer totals: sum over accepted
+	// batches of (base + records*per) == accepted*base + totalRecords*per.
+	st.ModeledIngestSeconds = float64(st.AcceptedBatches)*IngestBatchBaseSeconds +
+		float64(st.AcceptedRecords)*IngestPerRecordSeconds
+	if max := s.maxBatchRecords.Load(); st.AcceptedBatches > 0 {
+		st.MaxBatchIngestSeconds = IngestBatchBaseSeconds + float64(max)*IngestPerRecordSeconds
+	}
 	s.clientStatsMu.Lock()
 	ca := s.clientStats
 	s.clientStatsMu.Unlock()

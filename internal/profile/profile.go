@@ -139,6 +139,38 @@ func Merge(profs ...*Profile) (*Profile, error) {
 	return out, nil
 }
 
+// MergeInto folds delta's samples into dst in place — the delta-ingestion
+// path: where Merge re-validates and reallocates a fresh profile per
+// call, MergeInto appends to dst's existing backing array, so publishing
+// a new epoch into a long-lived aggregate costs the delta, not the
+// aggregate. The compatibility rules are Merge's: the period and — where
+// recorded — the build ID must agree. A delta with an ID or period dst
+// lacks fills it in.
+func MergeInto(dst, delta *Profile) error {
+	if dst == nil || delta == nil {
+		return fmt.Errorf("profile: nil merge input")
+	}
+	if delta.BuildID != "" {
+		if dst.BuildID == "" {
+			dst.BuildID = delta.BuildID
+		} else if dst.BuildID != delta.BuildID {
+			return fmt.Errorf("profile: build ID mismatch across shards: %s vs %s", dst.BuildID, delta.BuildID)
+		}
+	}
+	if delta.Period != 0 {
+		if dst.Period == 0 {
+			dst.Period = delta.Period
+		} else if dst.Period != delta.Period {
+			return fmt.Errorf("profile: period mismatch across shards: %d vs %d", dst.Period, delta.Period)
+		}
+	}
+	if dst.Binary == "" {
+		dst.Binary = delta.Binary
+	}
+	dst.Samples = append(dst.Samples, delta.Samples...)
+	return nil
+}
+
 // Wire format magics: profMagicV2 adds the build-ID header field; the V1
 // magic is still accepted on read (legacy profiles carry no build ID).
 const (

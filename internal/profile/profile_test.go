@@ -139,3 +139,46 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMergeIntoMatchesMerge(t *testing.T) {
+	a := sample()
+	b := &Profile{
+		Binary: "app.wb",
+		Period: 211,
+		Samples: []Sample{
+			{Records: []Branch{{From: 0x300, To: 0x400}}},
+		},
+	}
+	want, err := Merge(sample(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeInto(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("MergeInto = %+v, want %+v", a, want)
+	}
+}
+
+func TestMergeIntoFillsAndEnforcesIdentity(t *testing.T) {
+	dst := &Profile{}
+	if err := MergeInto(dst, &Profile{Binary: "b", BuildID: "id1", Period: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Binary != "b" || dst.BuildID != "id1" || dst.Period != 7 {
+		t.Fatalf("identity not filled: %+v", dst)
+	}
+	if err := MergeInto(dst, &Profile{BuildID: "id2"}); err == nil {
+		t.Error("build ID mismatch accepted")
+	}
+	if err := MergeInto(dst, &Profile{Period: 8}); err == nil {
+		t.Error("period mismatch accepted")
+	}
+	if err := MergeInto(nil, dst); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if err := MergeInto(dst, nil); err == nil {
+		t.Error("nil delta accepted")
+	}
+}

@@ -126,6 +126,16 @@ type Generation struct {
 	GateOpen    bool `json:"gateOpen"`
 	HotModules  int  `json:"hotModules,omitempty"`
 	ColdModules int  `json:"coldModules,omitempty"`
+	// ProfileEpochID is the store's aggregate fingerprint the analysis was
+	// keyed by (empty when the incremental cache was inactive).
+	ProfileEpochID string `json:"profileEpochID,omitempty"`
+	// LayoutCacheHit says Phase 3 served the whole layout from the
+	// incremental analysis cache (possible only once the store's aggregate
+	// is stationary — same epoch ID as an earlier analysis of this build).
+	LayoutCacheHit bool `json:"layoutCacheHit,omitempty"`
+	// HotReused counts hot modules whose Phase-4 object came from the
+	// relink cache instead of re-running codegen.
+	HotReused int `json:"hotReused,omitempty"`
 	// EpochSamples is the fleet profile's sample count this generation.
 	EpochSamples int         `json:"epochSamples"`
 	Admit        AdmitReport `json:"admit"`
@@ -188,6 +198,12 @@ func RunGenerations(p *core.Program, cfg DriverConfig) (*LoopResult, error) {
 	}
 	if opts.ObjCache == nil {
 		opts.ObjCache = buildsys.NewCache()
+	}
+	if opts.WPA.Cache == nil {
+		// Incremental analysis cache, shared across generations: once the
+		// store's decayed aggregate reaches a fixed point, re-analyses of
+		// the same deployed binary under the same epoch ID are cache hits.
+		opts.WPA.Cache = buildsys.NewCache()
 	}
 	store := cfg.Store
 	if store == nil {
@@ -282,11 +298,22 @@ func RunGenerations(p *core.Program, cfg DriverConfig) (*LoopResult, error) {
 		}
 
 		// Whole-program analysis of the aggregate against the deployed
-		// binary's BB address map, build ID enforced at the header.
+		// binary's BB address map, build ID enforced at the header. The
+		// analysis is keyed by the store's aggregate fingerprint: when
+		// the decayed aggregate is stationary across generations, the
+		// epoch ID repeats and the layout comes straight from the cache.
+		// Over a remote client the local store holds nothing for this
+		// build, the ID stays empty, and the cache path is inert.
+		opts.WPA.ProfileEpoch = ""
+		if id, ok := store.EpochID(deployed.BuildID); ok {
+			opts.WPA.ProfileEpoch = id
+		}
+		gen.ProfileEpochID = opts.WPA.ProfileEpoch
 		wres, err := core.AnalyzeStreamed(deployed, agg, opts)
 		if err != nil {
 			return nil, fmt.Errorf("profsvc: gen %d analysis: %w", g, err)
 		}
+		gen.LayoutCacheHit = wres.Stats.GlobalCacheHit
 		gen.LayoutSHA = layoutSHA(wres.Directives, wres.Order)
 
 		// Phase-4 relink: a new binary with a new content-hash build ID.
@@ -295,6 +322,7 @@ func RunGenerations(p *core.Program, cfg DriverConfig) (*LoopResult, error) {
 			return nil, fmt.Errorf("profsvc: gen %d relink: %w", g, err)
 		}
 		gen.HotModules, gen.ColdModules = nHot, nCold
+		gen.HotReused = cand.HotReused
 		gen.CandidateBuildID = cand.Binary.BuildID
 
 		candCycles, candExit, err := measureBin(cand.Binary, cfg)

@@ -64,6 +64,10 @@ type buildEntry struct {
 	// current epoch delta-merge into it instead of re-merging everything.
 	agg      *profile.Profile
 	aggValid bool
+	// version counts aggregate-content changes (publishes and decay
+	// advances); EpochID derives from it, so any downstream cache keyed
+	// by the ID invalidates exactly when the aggregate changes.
+	version int64
 }
 
 // Store is the versioned profile store: published profiles are keyed by
@@ -135,19 +139,18 @@ func (s *Store) Publish(p *profile.Profile) (int64, error) {
 	be.lastPublish = s.epoch
 
 	if n := len(be.epochs); n > 0 && be.epochs[n-1].seq == s.epoch {
-		// Delta path: same epoch, same build — extend in place.
+		// Delta path: same epoch, same build — extend in place. The store
+		// owns both the epoch profile and the cached aggregate, so the
+		// delta appends into their backing arrays (profile.MergeInto)
+		// instead of reallocating everything already retained.
 		cur := be.epochs[n-1]
-		merged, err := profile.Merge(cur.prof, p)
-		if err != nil {
+		if err := profile.MergeInto(cur.prof, p); err != nil {
 			return 0, err
 		}
-		cur.prof = merged
 		if be.aggValid {
-			agg, err := profile.Merge(be.agg, p)
-			if err != nil {
+			if err := profile.MergeInto(be.agg, p); err != nil {
 				return 0, err
 			}
-			be.agg = agg
 		}
 	} else {
 		cp := &profile.Profile{Binary: p.Binary, BuildID: p.BuildID, Period: p.Period}
@@ -165,6 +168,7 @@ func (s *Store) Publish(p *profile.Profile) (int64, error) {
 		}
 		be.aggValid = false
 	}
+	be.version++
 	s.published++
 
 	var total int64
@@ -197,6 +201,7 @@ func (s *Store) AdvanceEpoch() int {
 		be.epochs = kept
 		// Ages changed, so any cached decayed aggregate is stale.
 		be.aggValid = false
+		be.version++
 		if len(be.epochs) == 0 {
 			delete(s.builds, id)
 			s.evictedBuilds++
@@ -257,6 +262,23 @@ func (s *Store) Epoch() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.epoch
+}
+
+// EpochID names the current aggregate content for a build: a stable
+// fingerprint that changes exactly when a publish or a decay advance
+// changes what Profile(buildID) would return. It is the profile-epoch
+// key the incremental analyzer (wpa.Config.ProfileEpoch) wants: under an
+// unchanged EpochID, cached aggregates and layouts may be reused; any
+// ingestion or decay event rolls the ID and invalidates them. Returns
+// ("", false) when the store holds nothing for the build.
+func (s *Store) EpochID(buildID string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	be := s.builds[buildID]
+	if be == nil || len(be.epochs) == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("%s@e%d.v%d", buildID, s.epoch, be.version), true
 }
 
 // Stats snapshots the store's retention accounting.

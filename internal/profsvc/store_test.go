@@ -216,3 +216,72 @@ func TestBuildsOrdering(t *testing.T) {
 		t.Fatalf("Builds() order = %q", got)
 	}
 }
+
+func TestEpochIDTracksAggregateContent(t *testing.T) {
+	s := NewStore(StoreConfig{MaxEpochs: 3})
+	if _, ok := s.EpochID("bid"); ok {
+		t.Fatal("EpochID for an unknown build")
+	}
+	if _, err := s.Publish(mkProf("bid", 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	id1, ok := s.EpochID("bid")
+	if !ok || id1 == "" {
+		t.Fatalf("EpochID after publish: %q, %t", id1, ok)
+	}
+	// Unchanged store → unchanged ID (the cache-reuse case).
+	if id2, _ := s.EpochID("bid"); id2 != id1 {
+		t.Fatalf("ID changed without a store mutation: %q vs %q", id1, id2)
+	}
+	// A delta publish changes what Profile() returns → ID must roll.
+	if _, err := s.Publish(mkProf("bid", 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	id3, _ := s.EpochID("bid")
+	if id3 == id1 {
+		t.Fatal("delta publish did not roll the epoch ID")
+	}
+	// A decay advance also changes the aggregate → ID must roll again.
+	s.AdvanceEpoch()
+	id4, _ := s.EpochID("bid")
+	if id4 == id3 || id4 == id1 {
+		t.Fatalf("epoch advance did not roll the ID: %q", id4)
+	}
+	// Distinct builds never share an ID.
+	if _, err := s.Publish(mkProf("other", 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	idO, _ := s.EpochID("other")
+	if idO == id4 {
+		t.Fatal("distinct builds share an epoch ID")
+	}
+}
+
+func TestDeltaPublishUsesInPlaceMerge(t *testing.T) {
+	// Two delta publishes into one epoch must leave the cached aggregate
+	// identical to a cold re-read, and the aggregate the caller already
+	// fetched is extended in place (same backing entry, more samples).
+	s := NewStore(StoreConfig{})
+	if _, err := s.Publish(mkProf("bid", 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	agg1, ok := s.Profile("bid")
+	if !ok {
+		t.Fatal("no aggregate after first publish")
+	}
+	if len(agg1.Samples) != 5 {
+		t.Fatalf("aggregate samples = %d, want 5", len(agg1.Samples))
+	}
+	if _, err := s.Publish(mkProf("bid", 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	agg2, _ := s.Profile("bid")
+	if len(agg2.Samples) != 8 {
+		t.Fatalf("delta-merged aggregate samples = %d, want 8", len(agg2.Samples))
+	}
+	// The delta path extended the cached aggregate rather than rebuilding:
+	// the same *Profile is served.
+	if agg1 != agg2 {
+		t.Error("delta publish rebuilt the aggregate instead of extending it")
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"propeller/internal/ir"
+	"propeller/internal/isa"
+)
+
+// EditFraction replays a developer edit onto a generated program: a
+// deterministic, hash-selected fraction of functions each gain one
+// semantics-preserving instruction (addi rT0, 0) at the top of the entry
+// block. The padding changes the edited functions' code bytes — and with
+// them their IR module keys, object sizes, and basic-block content hashes
+// — without touching block IDs, control flow, or program output, which is
+// exactly the shape of the incremental-build scenario: a small edit whose
+// binary moves every downstream address while leaving most functions'
+// content identical.
+//
+// Selection hashes (function name, round), so successive rounds edit
+// different subsets and the same (fraction, round) always edits the same
+// functions. All ThinLTO-imported copies of a selected function are
+// edited too, keeping every module's view of the function consistent.
+// Returns the sorted edited function names (unique; imported copies are
+// not double-counted).
+func EditFraction(p *Program, fraction float64, round int) []string {
+	if p == nil || fraction <= 0 {
+		return nil
+	}
+	threshold := uint64(fraction * float64(1<<32))
+	selected := func(name string) bool {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		h.Write([]byte{byte(round), byte(round >> 8), byte(round >> 16), byte(round >> 24)})
+		return h.Sum64()>>32 < threshold
+	}
+	edited := map[string]bool{}
+	for _, m := range p.Core.Modules {
+		for _, f := range m.Funcs {
+			if len(f.Blocks) == 0 || !selected(f.Name) {
+				continue
+			}
+			entry := f.Blocks[0]
+			pad := ir.Inst{Op: isa.OpAddI, A: rT0, Imm: 0}
+			entry.Ins = append([]ir.Inst{pad}, entry.Ins...)
+			edited[f.Name] = true
+		}
+	}
+	names := make([]string, 0, len(edited))
+	for n := range edited {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,507 @@
+// The "aggregate samples" action: the position-independent profile
+// aggregate that the incremental Phase 3 caches and delta-merges.
+//
+// Aggregation resolves raw LBR addresses against the BB address map of
+// the binary the profile was collected on, producing per-function block
+// counts and edges keyed by *stable block IDs* rather than addresses.
+// That makes the result meaningful across relinks: after a source edit
+// the aggregate built against the profiled binary's map projects cleanly
+// onto the edited binary's map (functions that vanished are dropped,
+// vanished block IDs are ignored), so the expensive sample pass is paid
+// once per profile epoch, not once per build.
+package wpa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/profile"
+)
+
+// funcProfile is one function's position-independent profile
+// contribution: execution counts and intra-function edges keyed by
+// stable block ID.
+type funcProfile struct {
+	counts map[int]uint64
+	edges  map[edgeKey]uint64
+}
+
+// Aggregate is the output of the "aggregate samples" action: every
+// sampled function's block counts and edges plus the call-edge map,
+// decoupled from absolute addresses. It is the unit the incremental
+// cache stores under the profile epoch, and the unit delta ingestion
+// merges into (Merge).
+type Aggregate struct {
+	funcs map[string]*funcProfile
+	calls map[callKey]uint64
+
+	samples      int
+	records      int
+	branchEdges  int
+	callEdgeN    int
+	profileBytes int64
+
+	// Transient run accounting for the aggregation that produced this
+	// in-memory value; not serialized, zero on a decoded aggregate.
+	aggregateWall time.Duration
+	mergeWall     time.Duration
+	workers       int
+}
+
+// Samples reports how many LBR samples the aggregate folds.
+func (a *Aggregate) Samples() int { return a.samples }
+
+// Funcs reports how many functions have at least one sampled block.
+func (a *Aggregate) Funcs() int { return len(a.funcs) }
+
+// toAggregate extracts the analyzer's aggregation state. The maps move
+// (not copy): the analyzer is done once this is called.
+func (a *analyzer) toAggregate(profileBytes int64) *Aggregate {
+	agg := &Aggregate{
+		funcs:         make(map[string]*funcProfile, len(a.graphs)),
+		calls:         a.callEdges,
+		samples:       a.st.Samples,
+		records:       a.st.Records,
+		branchEdges:   a.st.BranchEdges,
+		callEdgeN:     a.st.CallEdges,
+		profileBytes:  profileBytes,
+		aggregateWall: a.st.AggregateWall,
+		mergeWall:     a.st.MergeWall,
+		workers:       a.st.Workers,
+	}
+	for fn, g := range a.graphs {
+		agg.funcs[fn] = &funcProfile{counts: g.counts, edges: g.edges}
+	}
+	return agg
+}
+
+// projectAggregate loads an aggregate's counts into the analyzer,
+// keeping only functions that exist in this binary's map and dropping
+// counts for block IDs the (possibly newer) map no longer has.
+func (a *analyzer) projectAggregate(agg *Aggregate) {
+	for fn, fp := range agg.funcs {
+		fi := a.infos[fn]
+		if fi == nil {
+			continue
+		}
+		counts := fp.counts
+		for id := range fp.counts {
+			if _, ok := fi.sizes[id]; !ok {
+				counts = make(map[int]uint64, len(fp.counts))
+				for id2, v := range fp.counts {
+					if _, ok := fi.sizes[id2]; ok {
+						counts[id2] = v
+					}
+				}
+				break
+			}
+		}
+		a.graphs[fn] = &dcfg{info: fi, counts: counts, edges: fp.edges}
+	}
+	a.callEdges = agg.calls
+	a.st.Samples = agg.samples
+	a.st.Records = agg.records
+	a.st.BranchEdges = agg.branchEdges
+	a.st.CallEdges = agg.callEdgeN
+	a.st.AggregateWall = agg.aggregateWall
+	a.st.MergeWall = agg.mergeWall
+	a.st.Workers = agg.workers
+}
+
+// Clone deep-copies the aggregate, so a cached epoch can be delta-merged
+// into without mutating the stored value.
+func (a *Aggregate) Clone() *Aggregate {
+	c := *a
+	c.funcs = make(map[string]*funcProfile, len(a.funcs))
+	for fn, fp := range a.funcs {
+		nc := make(map[int]uint64, len(fp.counts))
+		for id, v := range fp.counts {
+			nc[id] = v
+		}
+		ne := make(map[edgeKey]uint64, len(fp.edges))
+		for k, v := range fp.edges {
+			ne[k] = v
+		}
+		c.funcs[fn] = &funcProfile{counts: nc, edges: ne}
+	}
+	c.calls = make(map[callKey]uint64, len(a.calls))
+	for k, v := range a.calls {
+		c.calls[k] = v
+	}
+	return &c
+}
+
+// Merge folds the delta aggregate d into a. Every contribution is a
+// commutative uint64 sum, so merging a new profiling epoch into a cached
+// aggregate yields exactly what re-aggregating the concatenated profiles
+// would — the delta-ingestion primitive.
+func (a *Aggregate) Merge(d *Aggregate) {
+	for fn, dp := range d.funcs {
+		fp := a.funcs[fn]
+		if fp == nil {
+			fp = &funcProfile{counts: map[int]uint64{}, edges: map[edgeKey]uint64{}}
+			a.funcs[fn] = fp
+		}
+		for id, v := range dp.counts {
+			fp.counts[id] += v
+		}
+		for k, v := range dp.edges {
+			fp.edges[k] += v
+		}
+	}
+	for k, v := range d.calls {
+		a.calls[k] += v
+	}
+	a.samples += d.samples
+	a.records += d.records
+	a.branchEdges += d.branchEdges
+	a.callEdgeN += d.callEdgeN
+	a.profileBytes += d.profileBytes
+}
+
+// BuildAggregate runs the sample-aggregation half of the analysis over
+// an in-memory profile. With cfg.Workers != 1 the samples are
+// partitioned into contiguous chunks aggregated by private shards, then
+// merged deterministically; the output is bit-identical to the serial
+// path.
+func BuildAggregate(m *bbaddrmap.Map, prof *profile.Profile, cfg Config) (*Aggregate, error) {
+	if err := cfg.checkBuildID(prof.BuildID); err != nil {
+		return nil, err
+	}
+	a, err := newAnalyzer(m)
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.workers()
+	if w > len(prof.Samples) {
+		w = len(prof.Samples)
+	}
+	if w < 1 {
+		w = 1
+	}
+	aggStart := time.Now()
+	if w == 1 {
+		for _, s := range prof.Samples {
+			a.addSample(s)
+		}
+		a.st.AggregateWall = time.Since(aggStart)
+	} else {
+		shards := make([]*analyzer, w)
+		chunk := (len(prof.Samples) + w - 1) / w
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			lo := i * chunk
+			hi := lo + chunk
+			if hi > len(prof.Samples) {
+				hi = len(prof.Samples)
+			}
+			if lo > hi {
+				lo = hi
+			}
+			sh := a.newShard()
+			shards[i] = sh
+			wg.Add(1)
+			go func(sh *analyzer, samples []profile.Sample) {
+				defer wg.Done()
+				for _, s := range samples {
+					sh.addSample(s)
+				}
+			}(sh, prof.Samples[lo:hi])
+		}
+		wg.Wait()
+		a.st.AggregateWall = time.Since(aggStart)
+		mergeStart := time.Now()
+		for _, sh := range shards {
+			a.absorb(sh)
+		}
+		a.st.MergeWall = time.Since(mergeStart)
+	}
+	a.st.Workers = w
+	return a.toAggregate(prof.SizeBytes()), nil
+}
+
+// BuildAggregateStream aggregates a serialized profile without
+// materializing it (§5.1's chunked reading). With cfg.Workers != 1 the
+// decoded samples are batched and fanned out to private shards that are
+// merged deterministically, so the result stays bit-identical to serial.
+func BuildAggregateStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Aggregate, error) {
+	a, err := newAnalyzer(m)
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.workers()
+	if w < 1 {
+		w = 1
+	}
+	// The header check runs before any sample is aggregated, so a
+	// build-ID-mismatched profile is rejected without paying for its body.
+	onHeader := func(h profile.Header) error { return cfg.checkBuildID(h.BuildID) }
+	aggStart := time.Now()
+	if w == 1 {
+		if _, _, err := profile.Stream(r, onHeader, func(s profile.Sample) error {
+			a.addSample(s)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("wpa: streaming profile: %w", err)
+		}
+		a.st.AggregateWall = time.Since(aggStart)
+	} else {
+		// streamBatch samples per channel send amortizes the hand-off;
+		// the decoder's record buffer is reused across callbacks, so each
+		// sample's records must be copied before crossing the channel.
+		const streamBatch = 512
+		ch := make(chan []profile.Sample, w)
+		shards := make([]*analyzer, w)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			sh := a.newShard()
+			shards[i] = sh
+			wg.Add(1)
+			go func(sh *analyzer) {
+				defer wg.Done()
+				for batch := range ch {
+					for _, s := range batch {
+						sh.addSample(s)
+					}
+				}
+			}(sh)
+		}
+		batch := make([]profile.Sample, 0, streamBatch)
+		_, _, serr := profile.Stream(r, onHeader, func(s profile.Sample) error {
+			recs := make([]profile.Branch, len(s.Records))
+			copy(recs, s.Records)
+			batch = append(batch, profile.Sample{Records: recs})
+			if len(batch) == streamBatch {
+				ch <- batch
+				batch = make([]profile.Sample, 0, streamBatch)
+			}
+			return nil
+		})
+		if len(batch) > 0 {
+			ch <- batch
+		}
+		close(ch)
+		wg.Wait()
+		if serr != nil {
+			return nil, fmt.Errorf("wpa: streaming profile: %w", serr)
+		}
+		a.st.AggregateWall = time.Since(aggStart)
+		mergeStart := time.Now()
+		for _, sh := range shards {
+			a.absorb(sh)
+		}
+		a.st.MergeWall = time.Since(mergeStart)
+	}
+	a.st.Workers = w
+	const sampleBuf = 2 + profile.LBRDepth*16
+	return a.toAggregate(sampleBuf), nil
+}
+
+// Wire format for cached aggregates. Every map is emitted in sorted key
+// order, so equal aggregates encode to equal bytes — the property that
+// makes the encoding a content-addressed cache value (and the codec the
+// nightly fuzz job exercises).
+const aggMagic = "WAG1"
+
+// EncodeAggregate serializes the aggregate deterministically.
+func EncodeAggregate(a *Aggregate) []byte {
+	buf := append([]byte(nil), aggMagic...)
+	uv := func(v uint64) { buf = binary.AppendUvarint(buf, v) }
+	str := func(s string) { uv(uint64(len(s))); buf = append(buf, s...) }
+
+	uv(uint64(a.profileBytes))
+	uv(uint64(a.samples))
+	uv(uint64(a.records))
+	uv(uint64(a.branchEdges))
+	uv(uint64(a.callEdgeN))
+
+	names := make([]string, 0, len(a.funcs))
+	for fn := range a.funcs {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	uv(uint64(len(names)))
+	for _, fn := range names {
+		fp := a.funcs[fn]
+		str(fn)
+		ids := make([]int, 0, len(fp.counts))
+		for id := range fp.counts {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		uv(uint64(len(ids)))
+		for _, id := range ids {
+			uv(uint64(id))
+			uv(fp.counts[id])
+		}
+		eks := make([]edgeKey, 0, len(fp.edges))
+		for k := range fp.edges {
+			eks = append(eks, k)
+		}
+		sort.Slice(eks, func(i, j int) bool {
+			if eks[i].from != eks[j].from {
+				return eks[i].from < eks[j].from
+			}
+			return eks[i].to < eks[j].to
+		})
+		uv(uint64(len(eks)))
+		for _, k := range eks {
+			uv(uint64(k.from))
+			uv(uint64(k.to))
+			uv(fp.edges[k])
+		}
+	}
+
+	cks := make([]callKey, 0, len(a.calls))
+	for k := range a.calls {
+		cks = append(cks, k)
+	}
+	sort.Slice(cks, func(i, j int) bool {
+		a, b := cks[i], cks[j]
+		if a.fn != b.fn {
+			return a.fn < b.fn
+		}
+		if a.block != b.block {
+			return a.block < b.block
+		}
+		return a.callee < b.callee
+	})
+	uv(uint64(len(cks)))
+	for _, k := range cks {
+		str(k.fn)
+		uv(uint64(k.block))
+		str(k.callee)
+		uv(a.calls[k])
+	}
+	return buf
+}
+
+// aggDec is a bounds-checked varint reader over an encoded aggregate.
+type aggDec struct {
+	data []byte
+	off  int
+}
+
+func (d *aggDec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wpa: aggregate codec: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *aggDec) count() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// No element costs fewer than one encoded byte, so any count beyond
+	// the remaining input is corrupt; rejecting it here keeps a hostile
+	// header from provoking a huge allocation.
+	if v > uint64(len(d.data)-d.off) {
+		return 0, fmt.Errorf("wpa: aggregate codec: count %d exceeds remaining input", v)
+	}
+	return int(v), nil
+}
+
+func (d *aggDec) str() (string, error) {
+	n, err := d.count()
+	if err != nil {
+		return "", err
+	}
+	s := string(d.data[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+// DecodeAggregate parses an EncodeAggregate value. It never panics on
+// corrupt input (fuzzed); a decoded aggregate re-encodes byte-identically.
+func DecodeAggregate(data []byte) (*Aggregate, error) {
+	if len(data) < len(aggMagic) || string(data[:len(aggMagic)]) != aggMagic {
+		return nil, fmt.Errorf("wpa: aggregate codec: bad magic")
+	}
+	d := &aggDec{data: data, off: len(aggMagic)}
+	a := &Aggregate{funcs: map[string]*funcProfile{}, calls: map[callKey]uint64{}}
+	var err error
+	getu := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = d.uvarint()
+		return v
+	}
+	geti := func() int { return int(getu()) }
+	getn := func() int {
+		if err != nil {
+			return 0
+		}
+		var n int
+		n, err = d.count()
+		return n
+	}
+	gets := func() string {
+		if err != nil {
+			return ""
+		}
+		var s string
+		s, err = d.str()
+		return s
+	}
+	a.profileBytes = int64(getu())
+	a.samples = geti()
+	a.records = geti()
+	a.branchEdges = geti()
+	a.callEdgeN = geti()
+	nFuncs := getn()
+	for i := 0; i < nFuncs && err == nil; i++ {
+		fn := gets()
+		if err != nil {
+			break
+		}
+		if _, dup := a.funcs[fn]; dup {
+			return nil, fmt.Errorf("wpa: aggregate codec: duplicate function %q", fn)
+		}
+		fp := &funcProfile{counts: map[int]uint64{}, edges: map[edgeKey]uint64{}}
+		a.funcs[fn] = fp
+		nCounts := getn()
+		for j := 0; j < nCounts && err == nil; j++ {
+			id := geti()
+			c := getu()
+			if err == nil {
+				fp.counts[id] = c
+			}
+		}
+		nEdges := getn()
+		for j := 0; j < nEdges && err == nil; j++ {
+			from, to := geti(), geti()
+			w := getu()
+			if err == nil {
+				fp.edges[edgeKey{from, to}] = w
+			}
+		}
+	}
+	nCalls := getn()
+	for i := 0; i < nCalls && err == nil; i++ {
+		fn := gets()
+		block := geti()
+		callee := gets()
+		w := getu()
+		if err == nil {
+			a.calls[callKey{fn, block, callee}] += w
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("wpa: aggregate codec: %d trailing bytes", len(data)-d.off)
+	}
+	return a, nil
+}

@@ -1,0 +1,65 @@
+package wpa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAggregateCodec exercises the incremental cache's aggregate codec
+// (the "WAG1" entries the analysis cache stores under the profile-epoch
+// key) against arbitrary bytes: the decoder must never panic or
+// over-allocate, and any input it accepts must re-encode canonically —
+// encode(decode(x)) must itself decode to the same bytes, the fixed-point
+// property cached warm analyses rely on for byte-identical artifacts.
+func FuzzAggregateCodec(f *testing.F) {
+	agg, err := BuildAggregate(synthMap(), synthProfile(25), Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(EncodeAggregate(agg))
+	f.Add(EncodeAggregate(&Aggregate{funcs: map[string]*funcProfile{}, calls: map[callKey]uint64{}}))
+	f.Add([]byte("WAG1"))
+	f.Add([]byte("WAG1\x01\x03foo\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeAggregate(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeAggregate(dec)
+		again, err := DecodeAggregate(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(enc, EncodeAggregate(again)) {
+			t.Fatal("encoding is not a fixed point over accepted inputs")
+		}
+	})
+}
+
+// FuzzLayoutEntryCodec does the same for the per-function layout entries
+// ("WFL1"), the second half of the incremental cache's key codec.
+func FuzzLayoutEntryCodec(f *testing.F) {
+	f.Add(encodeLayoutEntry(intraOut{skip: true}))
+	f.Add(encodeLayoutEntry(intraOut{cluster: []int{0, 2, 1}, samples: 99}))
+	f.Add([]byte("WFL1\x00"))
+	f.Add([]byte("WFL1\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := decodeLayoutEntry(data)
+		if err != nil {
+			return
+		}
+		enc := encodeLayoutEntry(dec)
+		again, err := decodeLayoutEntry(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if again.skip != dec.skip || again.samples != dec.samples || len(again.cluster) != len(dec.cluster) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", dec, again)
+		}
+		for i := range dec.cluster {
+			if again.cluster[i] != dec.cluster[i] {
+				t.Fatalf("roundtrip mismatch: %+v vs %+v", dec, again)
+			}
+		}
+	})
+}

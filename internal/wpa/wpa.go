@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"propeller/internal/bbaddrmap"
+	"propeller/internal/buildsys"
 	"propeller/internal/exttsp"
 	"propeller/internal/hfsort"
 	"propeller/internal/layoutfile"
@@ -63,6 +64,29 @@ type Config struct {
 	// are commutative uint64 sums and layout results are committed in
 	// sorted function-name order.
 	Workers int
+
+	// Cache, when non-nil, makes the analysis incremental: each of the
+	// three Phase-3 actions — sample aggregation, per-function Ext-TSP
+	// layout, and the assembled global layout — stores its result in
+	// this content-addressed cache, keyed by (ProfileEpoch,
+	// layout-policy params, function content hash). A warm re-analysis
+	// after a small edit re-runs Ext-TSP only for functions whose
+	// content hash changed, and its artifacts are byte-identical to a
+	// cold run. Ignored unless ProfileEpoch is also set.
+	Cache *buildsys.Cache
+
+	// ProfileEpoch names the profile generation this analysis consumes.
+	// It must change whenever the aggregated profile content changes
+	// (e.g. a fleet-epoch fingerprint or a hash of the merged profile):
+	// the incremental cache trusts it completely and reuses cached
+	// counts and layouts for any unchanged function under the same
+	// epoch.
+	ProfileEpoch string
+}
+
+// cacheEnabled reports whether the incremental-cache path is active.
+func (c Config) cacheEnabled() bool {
+	return c.Cache != nil && c.ProfileEpoch != ""
 }
 
 func (c Config) workers() int {
@@ -141,6 +165,18 @@ type Stats struct {
 	// AnalysisSeconds is the total measured analysis wall time
 	// (aggregate + merge + layout).
 	AnalysisSeconds float64
+
+	// Incremental-cache accounting, populated when Config.Cache is in
+	// use: whether the sample aggregate and the assembled global layout
+	// were cache hits, the per-function layout hit/miss split, and how
+	// many functions actually re-ran Ext-TSP. On the cached intra path
+	// RelaidFuncs counts the non-trivial misses; with the cache off it
+	// equals the full hot set, and on a global-layout hit it is zero.
+	AggregateCacheHit bool
+	GlobalCacheHit    bool
+	FuncLayoutHits    int
+	FuncLayoutMisses  int
+	RelaidFuncs       int
 }
 
 // Result is the analyzer output.
@@ -328,13 +364,7 @@ func (a *analyzer) finish(cfg Config, profileBytes int64) (*Result, error) {
 
 	res := &Result{Directives: layoutfile.Directives{}, Stats: st}
 	layoutStart := time.Now()
-	var err error
-	if cfg.InterProc {
-		err = layoutInterProc(res, a.graphs, a.infos, a.callEdges, cfg)
-	} else {
-		err = layoutIntra(res, a.graphs, a.infos, a.callEdges, cfg)
-	}
-	if err != nil {
+	if err := a.layout(res, cfg); err != nil {
 		return nil, err
 	}
 	res.Stats.LayoutWall = time.Since(layoutStart)
@@ -343,142 +373,126 @@ func (a *analyzer) finish(cfg Config, profileBytes int64) (*Result, error) {
 	return res, nil
 }
 
-// Analyze runs the whole-program analysis over an in-memory profile.
-// With cfg.Workers != 1 the samples are partitioned into contiguous
-// chunks aggregated by private shards, then merged deterministically;
-// the output is bit-identical to the serial path.
+// layout runs the "global layout" action. With the incremental cache
+// active the assembled artifacts are keyed by (epoch, policy, every
+// participating function's content hash): a hit replays them without
+// touching Ext-TSP at all; a miss runs the layout algorithms — with the
+// per-function cache inside layoutIntra — and publishes the result.
+func (a *analyzer) layout(res *Result, cfg Config) error {
+	var gkey string
+	if cfg.cacheEnabled() {
+		names := sortedFuncNames(a.graphs)
+		hashes := make([]string, 0, len(names))
+		for _, fn := range names {
+			if fi := a.infos[fn]; fi != nil {
+				hashes = append(hashes, fi.contentHash())
+			}
+		}
+		gkey = globalLayoutCacheKey(cfg.ProfileEpoch, cfg.layoutPolicyKey(), hashes)
+		if data, ok := cfg.Cache.Get(gkey); ok {
+			if err := decodeArtifacts(data, res); err == nil {
+				res.Stats.GlobalCacheHit = true
+				return nil
+			}
+			// A corrupt entry falls through to a recompute that
+			// overwrites it.
+		}
+	}
+	var err error
+	if cfg.InterProc {
+		err = layoutInterProc(res, a.graphs, a.infos, a.callEdges, cfg)
+	} else {
+		err = layoutIntra(res, a.graphs, a.infos, a.callEdges, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if gkey != "" {
+		if data, err := encodeArtifacts(res); err == nil {
+			cfg.Cache.Put(gkey, data)
+		}
+	}
+	return nil
+}
+
+// loadAggregate returns the epoch's cached aggregate when the incremental
+// cache holds one, otherwise builds it via build and publishes the result.
+func (c Config) loadAggregate(build func() (*Aggregate, error)) (*Aggregate, bool, error) {
+	if !c.cacheEnabled() {
+		agg, err := build()
+		return agg, false, err
+	}
+	key := aggCacheKey(c.ProfileEpoch)
+	if data, ok := c.Cache.Get(key); ok {
+		if agg, err := DecodeAggregate(data); err == nil {
+			return agg, true, nil
+		}
+		// A corrupt entry falls through to a rebuild that overwrites it.
+	}
+	agg, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	c.Cache.Put(key, EncodeAggregate(agg))
+	return agg, false, nil
+}
+
+// AnalyzeAggregate runs the layout half of the analysis over a
+// previously built aggregate, projecting its position-independent counts
+// onto m's BB address map. m may differ from the map the aggregate was
+// built against — the warm-relink case, where an edited binary reuses
+// the previous epoch's profile: functions that no longer exist are
+// dropped and counts for vanished block IDs are ignored.
+func AnalyzeAggregate(m *bbaddrmap.Map, agg *Aggregate, cfg Config) (*Result, error) {
+	a, err := newAnalyzer(m)
+	if err != nil {
+		return nil, err
+	}
+	a.projectAggregate(agg)
+	return a.finish(cfg, agg.profileBytes)
+}
+
+// Analyze runs the whole-program analysis over an in-memory profile:
+// BuildAggregate (consulting the incremental cache when configured)
+// followed by AnalyzeAggregate. With cfg.Workers != 1 the samples are
+// partitioned into contiguous chunks aggregated by private shards, then
+// merged deterministically; the output is bit-identical to the serial
+// path, and — with the cache — to the uncached path.
 func Analyze(m *bbaddrmap.Map, prof *profile.Profile, cfg Config) (*Result, error) {
 	if err := cfg.checkBuildID(prof.BuildID); err != nil {
 		return nil, err
 	}
-	a, err := newAnalyzer(m)
+	agg, hit, err := cfg.loadAggregate(func() (*Aggregate, error) {
+		return BuildAggregate(m, prof, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	w := cfg.workers()
-	if w > len(prof.Samples) {
-		w = len(prof.Samples)
+	res, err := AnalyzeAggregate(m, agg, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if w < 1 {
-		w = 1
-	}
-	aggStart := time.Now()
-	if w == 1 {
-		for _, s := range prof.Samples {
-			a.addSample(s)
-		}
-		a.st.AggregateWall = time.Since(aggStart)
-	} else {
-		shards := make([]*analyzer, w)
-		chunk := (len(prof.Samples) + w - 1) / w
-		var wg sync.WaitGroup
-		for i := 0; i < w; i++ {
-			lo := i * chunk
-			hi := lo + chunk
-			if hi > len(prof.Samples) {
-				hi = len(prof.Samples)
-			}
-			if lo > hi {
-				lo = hi
-			}
-			sh := a.newShard()
-			shards[i] = sh
-			wg.Add(1)
-			go func(sh *analyzer, samples []profile.Sample) {
-				defer wg.Done()
-				for _, s := range samples {
-					sh.addSample(s)
-				}
-			}(sh, prof.Samples[lo:hi])
-		}
-		wg.Wait()
-		a.st.AggregateWall = time.Since(aggStart)
-		mergeStart := time.Now()
-		for _, sh := range shards {
-			a.absorb(sh)
-		}
-		a.st.MergeWall = time.Since(mergeStart)
-	}
-	a.st.Workers = w
-	return a.finish(cfg, prof.SizeBytes())
+	res.Stats.AggregateCacheHit = hit
+	return res, nil
 }
 
 // AnalyzeStream runs the whole-program analysis over a serialized profile
 // without materializing it (§5.1's chunked reading): peak memory becomes
-// the DCFG alone plus small sample batches. With cfg.Workers != 1 the
-// decoded samples are batched and fanned out to private shards that are
-// merged deterministically, so the result stays bit-identical to serial.
+// the DCFG alone plus small sample batches. With the incremental cache
+// active and a warm epoch aggregate, the stream is not read at all.
 func AnalyzeStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Result, error) {
-	a, err := newAnalyzer(m)
+	agg, hit, err := cfg.loadAggregate(func() (*Aggregate, error) {
+		return BuildAggregateStream(m, r, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	w := cfg.workers()
-	if w < 1 {
-		w = 1
+	res, err := AnalyzeAggregate(m, agg, cfg)
+	if err != nil {
+		return nil, err
 	}
-	// The header check runs before any sample is aggregated, so a
-	// build-ID-mismatched profile is rejected without paying for its body.
-	onHeader := func(h profile.Header) error { return cfg.checkBuildID(h.BuildID) }
-	aggStart := time.Now()
-	if w == 1 {
-		if _, _, err := profile.Stream(r, onHeader, func(s profile.Sample) error {
-			a.addSample(s)
-			return nil
-		}); err != nil {
-			return nil, fmt.Errorf("wpa: streaming profile: %w", err)
-		}
-		a.st.AggregateWall = time.Since(aggStart)
-	} else {
-		// streamBatch samples per channel send amortizes the hand-off;
-		// the decoder's record buffer is reused across callbacks, so each
-		// sample's records must be copied before crossing the channel.
-		const streamBatch = 512
-		ch := make(chan []profile.Sample, w)
-		shards := make([]*analyzer, w)
-		var wg sync.WaitGroup
-		for i := 0; i < w; i++ {
-			sh := a.newShard()
-			shards[i] = sh
-			wg.Add(1)
-			go func(sh *analyzer) {
-				defer wg.Done()
-				for batch := range ch {
-					for _, s := range batch {
-						sh.addSample(s)
-					}
-				}
-			}(sh)
-		}
-		batch := make([]profile.Sample, 0, streamBatch)
-		_, _, serr := profile.Stream(r, onHeader, func(s profile.Sample) error {
-			recs := make([]profile.Branch, len(s.Records))
-			copy(recs, s.Records)
-			batch = append(batch, profile.Sample{Records: recs})
-			if len(batch) == streamBatch {
-				ch <- batch
-				batch = make([]profile.Sample, 0, streamBatch)
-			}
-			return nil
-		})
-		if len(batch) > 0 {
-			ch <- batch
-		}
-		close(ch)
-		wg.Wait()
-		if serr != nil {
-			return nil, fmt.Errorf("wpa: streaming profile: %w", serr)
-		}
-		a.st.AggregateWall = time.Since(aggStart)
-		mergeStart := time.Now()
-		for _, sh := range shards {
-			a.absorb(sh)
-		}
-		a.st.MergeWall = time.Since(mergeStart)
-	}
-	a.st.Workers = w
-	const sampleBuf = 2 + profile.LBRDepth*16
-	return a.finish(cfg, sampleBuf)
+	res.Stats.AggregateCacheHit = hit
+	return res, nil
 }
 
 func entryOf(infos map[string]*funcInfo, fn string) int {
@@ -597,17 +611,46 @@ func layoutOneIntra(g *dcfg, cfg Config) intraOut {
 func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInfo, callEdges map[callKey]uint64, cfg Config) error {
 	names := sortedFuncNames(graphs)
 	outs := make([]intraOut, len(names))
+	// The per-function layout cache: a hit replays the function's cached
+	// cluster; only misses — functions whose content hash or epoch
+	// changed — join the todo list that actually runs Ext-TSP.
+	todo := make([]int, 0, len(names))
+	cached := cfg.cacheEnabled()
+	var policy string
+	if cached {
+		policy = cfg.layoutPolicyKey()
+		for i, fn := range names {
+			g := graphs[fn]
+			if g.info == nil {
+				todo = append(todo, i)
+				continue
+			}
+			if data, ok := cfg.Cache.Get(funcLayoutCacheKey(cfg.ProfileEpoch, policy, g.info.contentHash())); ok {
+				if o, err := decodeLayoutEntry(data); err == nil {
+					outs[i] = o
+					res.Stats.FuncLayoutHits++
+					continue
+				}
+			}
+			todo = append(todo, i)
+		}
+		res.Stats.FuncLayoutMisses = len(todo)
+	} else {
+		for i := range names {
+			todo = append(todo, i)
+		}
+	}
 	w := cfg.workers()
-	if w > len(names) {
-		w = len(names)
+	if w > len(todo) {
+		w = len(todo)
 	}
 	if w < 1 {
 		w = 1
 	}
 	res.Stats.LayoutWorkers = w
 	if w <= 1 {
-		for i, fn := range names {
-			outs[i] = layoutOneIntra(graphs[fn], cfg)
+		for _, i := range todo {
+			outs[i] = layoutOneIntra(graphs[names[i]], cfg)
 		}
 	} else {
 		var next atomic.Int64
@@ -617,15 +660,30 @@ func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInf
 			go func() {
 				defer wg.Done()
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(names) {
+					t := int(next.Add(1)) - 1
+					if t >= len(todo) {
 						return
 					}
+					i := todo[t]
 					outs[i] = layoutOneIntra(graphs[names[i]], cfg)
 				}
 			}()
 		}
 		wg.Wait()
+	}
+	// Publish the computed entries (errors are never cached) and count
+	// the functions whose Ext-TSP actually ran.
+	for _, i := range todo {
+		o := outs[i]
+		if o.err != nil {
+			continue
+		}
+		if !o.skip {
+			res.Stats.RelaidFuncs++
+		}
+		if g := graphs[names[i]]; cached && g.info != nil {
+			cfg.Cache.Put(funcLayoutCacheKey(cfg.ProfileEpoch, policy, g.info.contentHash()), encodeLayoutEntry(o))
+		}
 	}
 
 	type hotFunc struct {
@@ -734,6 +792,7 @@ func layoutInterProc(res *Result, graphs map[string]*dcfg, infos map[string]*fun
 		if g.info == nil || g.info.entryID < 0 {
 			continue
 		}
+		res.Stats.RelaidFuncs++
 		for _, id := range g.hotBlocks(cfg.hotThreshold()) {
 			n := globalNode{fn, id}
 			index[n] = len(nodes)
