@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"propeller/internal/eval"
+	"propeller/internal/pprofutil"
 	"propeller/internal/workload"
 )
 
@@ -34,7 +35,14 @@ func main() {
 		fleet   = flag.Bool("fleet", false, "fleet-collection scaling sweep (hosts x ingest shards x loss), writes BENCH_fleetprof.json")
 		incr    = flag.Bool("incr", false, "incremental edit-replay sweep (edit fraction x WPA workers, cold vs warm caches), writes BENCH_incr.json")
 	)
+	prof := pprofutil.Register()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	if *fleet {
 		runFleetSweep()
 		return

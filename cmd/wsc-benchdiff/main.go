@@ -28,10 +28,11 @@ import (
 	"strings"
 )
 
-// defaultArtifacts are the five bench-smoke outputs.
+// defaultArtifacts are the bench-smoke outputs.
 var defaultArtifacts = []string{
 	"BENCH_buildsys.json",
 	"BENCH_wpa.json",
+	"BENCH_simspeed.json",
 	"BENCH_fleetprof.json",
 	"BENCH_profsvc.json",
 	"BENCH_incr.json",

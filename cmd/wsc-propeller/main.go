@@ -36,6 +36,7 @@ import (
 	"propeller/internal/layoutfile"
 	"propeller/internal/memmodel"
 	"propeller/internal/objfile"
+	"propeller/internal/pprofutil"
 	"propeller/internal/sim"
 	"propeller/internal/workload"
 )
@@ -60,7 +61,13 @@ func main() {
 		warm       = flag.Bool("warm", false, "edit-replay mode: re-run analysis+relink of a replayed -edit-frac edit against warm content-keyed caches (requires -workload)")
 		editFrac   = flag.Float64("edit-frac", 0.01, "fraction of functions the replayed edit touches (with -warm)")
 	)
+	prof := pprofutil.Register()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 
 	if *warm {
 		runWarmReplay(*wl, *editFrac, *workers)

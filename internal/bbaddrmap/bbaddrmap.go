@@ -220,6 +220,50 @@ func sortBlocks(bs []lookupBlock) {
 	}
 }
 
+// blockCovering binary-searches blocks (sorted by Start) for the one
+// covering addr, returning its index or -1. Zero-size blocks never cover
+// anything and are skipped; non-empty blocks are disjoint, so the last
+// block starting at or before addr is the only candidate.
+func blockCovering(bs []lookupBlock, addr uint64) int {
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bs[mid].Start <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo - 1; i >= 0; i-- {
+		b := &bs[i]
+		if addr < b.End {
+			return i
+		}
+		if b.Start < b.End {
+			// A non-empty block entirely before addr: with disjoint
+			// blocks, nothing earlier can reach past it.
+			return -1
+		}
+		// Zero-size block at or before addr: keep walking.
+	}
+	return -1
+}
+
+// firstBlockFrom returns the index of the first block with Start >= start
+// (possibly len(bs)).
+func firstBlockFrom(bs []lookupBlock, start uint64) int {
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bs[mid].Start < start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Resolve maps an address to the containing function name and block ID.
 // ok is false when the address is not covered by any recorded block.
 func (l *Lookup) Resolve(addr uint64) (fn string, blockID int, ok bool) {
@@ -245,10 +289,8 @@ func (l *Lookup) Resolve(addr uint64) (fn string, blockID int, ok bool) {
 			}
 			continue
 		}
-		for _, b := range f.blocks {
-			if addr >= b.Start && addr < b.End {
-				return f.Entry.Name, b.ID, true
-			}
+		if bi := blockCovering(f.blocks, addr); bi >= 0 {
+			return f.Entry.Name, f.blocks[bi].ID, true
 		}
 	}
 	return "", 0, false
@@ -270,10 +312,9 @@ func (l *Lookup) ResolveFull(addr uint64) (ref BlockRef, start, end uint64, ok b
 		if addr >= f.End {
 			continue
 		}
-		for _, b := range f.blocks {
-			if addr >= b.Start && addr < b.End {
-				return BlockRef{Fn: f.Entry.Name, ID: b.ID}, b.Start, b.End, true
-			}
+		if bi := blockCovering(f.blocks, addr); bi >= 0 {
+			b := &f.blocks[bi]
+			return BlockRef{Fn: f.Entry.Name, ID: b.ID}, b.Start, b.End, true
 		}
 	}
 	return BlockRef{}, 0, 0, false
@@ -304,10 +345,8 @@ func (l *Lookup) IsBlockStart(addr uint64) (BlockRef, bool) {
 		if addr >= f.End {
 			continue
 		}
-		for _, b := range f.blocks {
-			if b.Start == addr {
-				return BlockRef{Fn: f.Entry.Name, ID: b.ID}, true
-			}
+		if bi := firstBlockFrom(f.blocks, addr); bi < len(f.blocks) && f.blocks[bi].Start == addr {
+			return BlockRef{Fn: f.Entry.Name, ID: f.blocks[bi].ID}, true
 		}
 	}
 	return BlockRef{}, false
@@ -317,8 +356,17 @@ func (l *Lookup) IsBlockStart(addr uint64) (BlockRef, bool) {
 // lies in [start, end]. Phase 3 walks the range between consecutive LBR
 // records with this to credit fall-through execution.
 func (l *Lookup) BlocksInRange(start, end uint64) []BlockRef {
+	return l.BlocksInRangeAppend(nil, start, end)
+}
+
+// BlocksInRangeAppend is BlocksInRange appending into dst — the
+// zero-allocation form the sample-aggregation hot loop calls with a
+// reused scratch slice (one fall-through range is resolved per LBR
+// record, so a fresh slice per call is the analyzer's top allocation
+// site).
+func (l *Lookup) BlocksInRangeAppend(dst []BlockRef, start, end uint64) []BlockRef {
 	if end < start {
-		return nil
+		return dst
 	}
 	// Fragments are sorted by start; find the first candidate and walk
 	// forward until fragments begin past the range end.
@@ -335,7 +383,6 @@ func (l *Lookup) BlocksInRange(start, end uint64) []BlockRef {
 	if first < 0 {
 		first = 0
 	}
-	var out []BlockRef
 	for i := first; i < len(l.funcs); i++ {
 		f := &l.funcs[i]
 		if f.Start > end {
@@ -344,13 +391,131 @@ func (l *Lookup) BlocksInRange(start, end uint64) []BlockRef {
 		if f.End <= start {
 			continue
 		}
-		for _, b := range f.blocks {
-			if b.Start >= start && b.Start <= end {
-				out = append(out, BlockRef{Fn: f.Entry.Name, ID: b.ID})
+		for bi := firstBlockFrom(f.blocks, start); bi < len(f.blocks); bi++ {
+			b := &f.blocks[bi]
+			if b.Start > end {
+				break
 			}
+			dst = append(dst, BlockRef{Fn: f.Entry.Name, ID: b.ID})
 		}
 	}
-	return out
+	return dst
+}
+
+// Resolver memoizes a Lookup's three hot resolution operations behind
+// small direct-mapped caches. Phase 3 resolves two addresses and one
+// fall-through range per LBR record, and the record stream revisits the
+// same branch sites constantly (a loop's sampled branches repeat for as
+// long as the loop runs), so most binary searches are re-deriving an
+// answer the resolver has already produced. A cache hit is one
+// multiplicative hash and one compare.
+//
+// Results are exactly the underlying Lookup's — the resolver only
+// short-circuits recomputation — so swapping it into an aggregation
+// pipeline cannot change any resolved block, edge, or count.
+//
+// A Resolver is NOT safe for concurrent use; each aggregation shard
+// owns one (they share the Lookup, which is immutable).
+type Resolver struct {
+	l     *Lookup
+	full  []resolveFullEnt
+	bs    []blockStartEnt
+	rng   []rangeEnt
+	arena []BlockRef
+}
+
+// resolverBits sizes each direct-mapped cache at 2^resolverBits entries:
+// large enough to hold every distinct branch site of the workloads that
+// matter, small enough that three caches stay well under a megabyte.
+const resolverBits = 12
+
+// arenaMax bounds the range-result arena; when it fills, the arena and
+// the range cache are reset together (a var so tests can shrink it).
+var arenaMax = 1 << 20
+
+type resolveFullEnt struct {
+	addr       uint64
+	start, end uint64
+	ref        BlockRef
+	ok         bool
+	set        bool
+}
+
+type blockStartEnt struct {
+	addr uint64
+	ref  BlockRef
+	ok   bool
+	set  bool
+}
+
+type rangeEnt struct {
+	start, end uint64
+	off, n     int32
+	set        bool
+}
+
+// NewResolver returns a memoizing view over l.
+func NewResolver(l *Lookup) *Resolver {
+	return &Resolver{
+		l:    l,
+		full: make([]resolveFullEnt, 1<<resolverBits),
+		bs:   make([]blockStartEnt, 1<<resolverBits),
+		rng:  make([]rangeEnt, 1<<resolverBits),
+	}
+}
+
+func mixAddr(addr uint64) uint64 {
+	return (addr * 0x9E3779B97F4A7C15) >> (64 - resolverBits)
+}
+
+func mixRange(start, end uint64) uint64 {
+	return ((start ^ (end<<32 | end>>32)) * 0x9E3779B97F4A7C15) >> (64 - resolverBits)
+}
+
+// ResolveFull is Lookup.ResolveFull behind the memo.
+func (r *Resolver) ResolveFull(addr uint64) (ref BlockRef, start, end uint64, ok bool) {
+	e := &r.full[mixAddr(addr)]
+	if e.set && e.addr == addr {
+		return e.ref, e.start, e.end, e.ok
+	}
+	ref, start, end, ok = r.l.ResolveFull(addr)
+	*e = resolveFullEnt{addr: addr, start: start, end: end, ref: ref, ok: ok, set: true}
+	return ref, start, end, ok
+}
+
+// IsBlockStart is Lookup.IsBlockStart behind the memo.
+func (r *Resolver) IsBlockStart(addr uint64) (BlockRef, bool) {
+	e := &r.bs[mixAddr(addr)]
+	if e.set && e.addr == addr {
+		return e.ref, e.ok
+	}
+	ref, ok := r.l.IsBlockStart(addr)
+	*e = blockStartEnt{addr: addr, ref: ref, ok: ok, set: true}
+	return ref, ok
+}
+
+// BlocksInRange is Lookup.BlocksInRange behind the memo. The returned
+// slice aliases the resolver's arena and is valid only until the next
+// BlocksInRange call — exactly the lifetime the aggregation loop needs,
+// and on a hit the refs are not even copied.
+func (r *Resolver) BlocksInRange(start, end uint64) []BlockRef {
+	e := &r.rng[mixRange(start, end)]
+	if e.set && e.start == start && e.end == end {
+		return r.arena[e.off : int(e.off)+int(e.n) : int(e.off)+int(e.n)]
+	}
+	if len(r.arena) > arenaMax {
+		// Entries evicted by collisions leak their arena refs; when the
+		// leaks fill the arena, start over (the caches refill in a few
+		// thousand records).
+		r.arena = r.arena[:0]
+		for i := range r.rng {
+			r.rng[i].set = false
+		}
+	}
+	off := len(r.arena)
+	r.arena = r.l.BlocksInRangeAppend(r.arena, start, end)
+	*e = rangeEnt{start: start, end: end, off: int32(off), n: int32(len(r.arena) - off), set: true}
+	return r.arena[off:len(r.arena):len(r.arena)]
 }
 
 // FuncAt returns the function entry covering addr, if any.

@@ -132,6 +132,79 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// Property: the memoizing Resolver answers every query exactly like the
+// raw Lookup, under heavy repetition (high hit rate), collisions, and
+// arena resets.
+func TestResolverMatchesLookup(t *testing.T) {
+	oldMax := arenaMax
+	arenaMax = 64 // force frequent arena resets
+	defer func() { arenaMax = oldMax }()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Map{}
+		addr := uint64(0x1000)
+		var ends []uint64
+		nFrag := 1 + rng.Intn(16)
+		for i := 0; i < nFrag; i++ {
+			fn := FuncEntry{Name: "f" + string(rune('a'+rng.Intn(8))), Addr: addr}
+			off := uint64(0)
+			nb := 1 + rng.Intn(6)
+			for j := 0; j < nb; j++ {
+				size := uint64(rng.Intn(24)) // zero-size blocks included
+				fn.Blocks = append(fn.Blocks, BlockEntry{ID: j, Offset: off, Size: size})
+				off += size
+			}
+			m.Funcs = append(m.Funcs, fn)
+			addr += off
+			ends = append(ends, addr)
+			addr += uint64(rng.Intn(32)) // gap
+		}
+		l := NewLookup(m)
+		r := NewResolver(l)
+		span := addr + 16
+		probe := func() uint64 {
+			// Bias probes toward real code so hits and misses both occur,
+			// and revisit a small working set to exercise the memo.
+			if rng.Intn(4) == 0 {
+				return uint64(rng.Int63n(int64(span)))
+			}
+			return 0x1000 + uint64(rng.Int63n(int64(span-0x1000)))>>uint(rng.Intn(3))
+		}
+		for q := 0; q < 4000; q++ {
+			a := probe()
+			wantRef, wantStart, wantEnd, wantOK := l.ResolveFull(a)
+			gotRef, gotStart, gotEnd, gotOK := r.ResolveFull(a)
+			if wantRef != gotRef || wantStart != gotStart || wantEnd != gotEnd || wantOK != gotOK {
+				return false
+			}
+			wantBS, wantBSOK := l.IsBlockStart(a)
+			gotBS, gotBSOK := r.IsBlockStart(a)
+			if wantBS != gotBS || wantBSOK != gotBSOK {
+				return false
+			}
+			b := probe()
+			if b < a {
+				a, b = b, a
+			}
+			want := l.BlocksInRange(a, b)
+			got := r.BlocksInRange(a, b)
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: every (addr in block) resolves to that block for random
 // non-overlapping layouts.
 func TestResolveProperty(t *testing.T) {

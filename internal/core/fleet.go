@@ -31,6 +31,14 @@ type FleetOptions struct {
 	Seed     uint64
 	// BatchSamples is the collector batch size (default 64).
 	BatchSamples int
+	// Materialize switches collection back to the two-phase pipeline:
+	// every host simulation runs to completion and its full profile is
+	// batched afterwards. The default (false) streams samples into the
+	// ingestion service while the simulations are still executing; the
+	// merged profile is byte-identical either way — batch identity, the
+	// transport fault plan and the canonical merge order do not depend
+	// on the mode.
+	Materialize bool
 	// Gate is the admission policy; a zero Gate admits any profile.
 	Gate fleetprof.Gate
 	// OnService, when non-nil, observes the ingestion service right after
@@ -54,41 +62,46 @@ func (f FleetOptions) hosts() int {
 // accounting, including any rejected or duplicated batches.
 func CollectFleetProfile(bin *objfile.Binary, spec RunSpec, fo FleetOptions, trackMisses bool) (*profile.Profile, *sim.Result, fleetprof.IngestStats, error) {
 	hosts := fo.hosts()
-	profiles := make([]*profile.Profile, hosts)
-	results := make([]*sim.Result, hosts)
-	errs := make([]error, hosts)
-	var wg sync.WaitGroup
-	for h := 0; h < hosts; h++ {
-		wg.Add(1)
-		go func(h int) {
-			defer wg.Done()
-			// Each host loads its own machine: sim.Machine is not safe for
-			// concurrent runs (shared decode cache).
-			mach, err := sim.Load(bin)
-			if err != nil {
-				errs[h] = err
-				return
-			}
-			res, err := mach.Run(sim.Config{
-				MaxInsts:        spec.MaxInsts,
-				LBRPeriod:       spec.lbrPeriod(),
-				LBRPhase:        uint64(h),
-				Args:            spec.Args,
-				TrackLoadMisses: trackMisses && h == 0,
-			})
-			if err != nil {
-				errs[h] = err
-				return
-			}
-			res.Profile.Binary = "pm"
-			profiles[h] = res.Profile
-			results[h] = res
-		}(h)
+	// One shared Program: the decode table is immutable after Load, so
+	// every host runs off the same pre-decoded text instead of paying the
+	// load per host.
+	prog, err := sim.Load(bin)
+	if err != nil {
+		return nil, nil, fleetprof.IngestStats{}, err
 	}
-	wg.Wait()
-	for h, err := range errs {
-		if err != nil {
-			return nil, nil, fleetprof.IngestStats{}, fmt.Errorf("core: fleet host %d run failed: %w", h, err)
+	hostCfg := func(h int) sim.Config {
+		return sim.Config{
+			MaxInsts:        spec.MaxInsts,
+			LBRPeriod:       spec.lbrPeriod(),
+			LBRPhase:        uint64(h),
+			Args:            spec.Args,
+			TrackLoadMisses: trackMisses && h == 0,
+		}
+	}
+	results := make([]*sim.Result, hosts)
+
+	if fo.Materialize {
+		// Two-phase: run every host to completion before collection.
+		errs := make([]error, hosts)
+		var wg sync.WaitGroup
+		for h := 0; h < hosts; h++ {
+			wg.Add(1)
+			go func(h int) {
+				defer wg.Done()
+				res, err := prog.Run(hostCfg(h))
+				if err != nil {
+					errs[h] = err
+					return
+				}
+				res.Profile.Binary = "pm"
+				results[h] = res
+			}(h)
+		}
+		wg.Wait()
+		for h, err := range errs {
+			if err != nil {
+				return nil, nil, fleetprof.IngestStats{}, fmt.Errorf("core: fleet host %d run failed: %w", h, err)
+			}
 		}
 	}
 
@@ -105,8 +118,21 @@ func CollectFleetProfile(bin *objfile.Binary, spec RunSpec, fo FleetOptions, tra
 	for h := 0; h < hosts; h++ {
 		collectors[h] = &fleetprof.Collector{
 			Host:         h,
-			Profile:      profiles[h],
 			BatchSamples: fo.BatchSamples,
+		}
+		if fo.Materialize {
+			collectors[h].Profile = results[h].Profile
+		} else {
+			// Streaming: the collector consumes samples on the simulation
+			// goroutine as they are taken, so batches reach the service's
+			// shards while the host is still executing.
+			collectors[h].Source = &hostSource{
+				prog: prog,
+				cfg:  hostCfg(h),
+				hdr:  profile.Header{Binary: "pm", BuildID: bin.BuildID, Period: spec.lbrPeriod()},
+				host: h,
+				res:  &results[h],
+			}
 		}
 	}
 	st, err := fleetprof.RunFleet(collectors, fleetprof.Transport{
@@ -136,6 +162,31 @@ func CollectFleetProfile(bin *objfile.Binary, spec RunSpec, fo FleetOptions, tra
 	return merged, results[0], st, nil
 }
 
+// hostSource streams one simulated host's LBR samples out of the running
+// simulation into its collector: sim.Config.OnSample is the collector's
+// emit callback, so sampling, batching and delivery all happen on the
+// host's goroutine with zero intermediate materialization.
+type hostSource struct {
+	prog *sim.Program
+	cfg  sim.Config
+	hdr  profile.Header
+	host int
+	res  **sim.Result
+}
+
+func (s *hostSource) Header() profile.Header { return s.hdr }
+
+func (s *hostSource) Samples(emit func(profile.Sample) error) error {
+	cfg := s.cfg
+	cfg.OnSample = emit
+	res, err := s.prog.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("core: fleet host %d run failed: %w", s.host, err)
+	}
+	*s.res = res
+	return nil
+}
+
 // AnalyzeStreamed is the fleet-mode WPA entry: the merged profile goes to
 // the analyzer through its streaming reader — the same path a profile
 // fetched from fleet profile storage takes — with the binary's build ID
@@ -153,9 +204,7 @@ func AnalyzeStreamed(bin *objfile.Binary, prof *profile.Profile, opts Options) (
 	if cfg.BuildID == "" {
 		cfg.BuildID = bin.BuildID
 	}
-	var buf bytes.Buffer
-	if err := prof.Write(&buf); err != nil {
-		return nil, err
-	}
-	return wpa.AnalyzeStream(m, &buf, cfg)
+	// AppendWire + bytes.Reader keep the whole round trip on the
+	// zero-copy decode path (no bufio wrapper on either side).
+	return wpa.AnalyzeStream(m, bytes.NewReader(prof.AppendWire(nil)), cfg)
 }

@@ -113,6 +113,12 @@ func FleetSweep(cfg FleetSweepConfig) ([]FleetPoint, *objfile.Binary, error) {
 		}
 	}
 
+	// One shared Program: the pre-decoded text is immutable, so all hosts
+	// simulate concurrently off a single Load.
+	sprog, err := sim.Load(bin)
+	if err != nil {
+		return nil, nil, err
+	}
 	profiles := make([]*profile.Profile, maxHosts)
 	errs := make([]error, maxHosts)
 	var wg sync.WaitGroup
@@ -120,12 +126,7 @@ func FleetSweep(cfg FleetSweepConfig) ([]FleetPoint, *objfile.Binary, error) {
 		wg.Add(1)
 		go func(h int) {
 			defer wg.Done()
-			mach, err := sim.Load(bin)
-			if err != nil {
-				errs[h] = err
-				return
-			}
-			res, err := mach.Run(sim.Config{
+			res, err := sprog.Run(sim.Config{
 				MaxInsts:  trainInsts,
 				LBRPeriod: period,
 				LBRPhase:  uint64(h),

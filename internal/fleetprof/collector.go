@@ -1,7 +1,6 @@
 package fleetprof
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -86,6 +85,41 @@ func hashFrac(h uint64) float64 {
 	return float64(h>>11) / float64(1<<53)
 }
 
+// SampleSource supplies one host's sample stream to its collector. The
+// two implementations are a materialized profile (ProfileSource) and a
+// live simulation pushing samples from its run callback — the streaming
+// mode that overlaps host CPU with the ingestion pipeline. Record slices
+// passed to emit are only read during the call; the collector copies what
+// it batches.
+type SampleSource interface {
+	// Header returns the stream's profile metadata, known before any
+	// sample; its Samples count is ignored.
+	Header() profile.Header
+	// Samples drives the stream, calling emit once per sample in order.
+	// An error from emit must abort the stream and be returned.
+	Samples(emit func(profile.Sample) error) error
+}
+
+// ProfileSource adapts a materialized profile to SampleSource.
+type ProfileSource struct {
+	P *profile.Profile
+}
+
+// Header implements SampleSource.
+func (ps ProfileSource) Header() profile.Header {
+	return profile.Header{Binary: ps.P.Binary, BuildID: ps.P.BuildID, Period: ps.P.Period}
+}
+
+// Samples implements SampleSource.
+func (ps ProfileSource) Samples(emit func(profile.Sample) error) error {
+	for _, s := range ps.P.Samples {
+		if err := emit(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Collector is one simulated production host shipping its LBR samples to
 // the ingestion service in sequenced batches.
 type Collector struct {
@@ -93,8 +127,15 @@ type Collector struct {
 	// the idempotency key on every batch.
 	Host int
 	// Profile holds the host's local samples (from a sim run with this
-	// host's LBRPhase).
+	// host's LBRPhase). Ignored when Source is set.
 	Profile *profile.Profile
+	// Source, when non-nil, supplies the sample stream instead of
+	// Profile — the streaming path that ships batches while the host's
+	// simulation is still executing. Batch identity ((host, seq) over
+	// consecutive BatchSamples-sized windows of the stream), the
+	// transport fault plan, and every modeled stat are the same in both
+	// modes, so the service's merged profile is byte-identical.
+	Source SampleSource
 	// BatchSamples is the number of samples per batch (default 64).
 	BatchSamples int
 	// Backoff is the initial real sleep after a queue-full reject
@@ -165,82 +206,146 @@ func (c *Collector) adaptAfterDrops() int {
 	return c.AdaptAfterDrops
 }
 
-// Run batches the host's profile and ships every batch through the
-// transport to the service, honoring backpressure. Each batch gets a
-// bounded delivery-attempt budget: a batch the queue keeps rejecting is
-// dropped (counted, never silently) instead of hanging the host, and
-// sustained drops double the collector's downsampling so the stream thins
-// to what the service can absorb.
+// Run ships the host's sample stream through the transport to the
+// service in sequenced batches, honoring backpressure. With a Source it
+// consumes samples as they are produced (batches leave while the host's
+// simulation is still running); with a materialized Profile it streams
+// over the stored samples — the two paths share every byte of batching,
+// encoding and delivery logic. Each batch gets a bounded delivery-attempt
+// budget: a batch the queue keeps rejecting is dropped (counted, never
+// silently) instead of hanging the host, and sustained drops double the
+// collector's downsampling so the stream thins to what the service can
+// absorb.
 func (c *Collector) Run(t Transport, svc *Service) (CollectorStats, error) {
 	st := CollectorStats{Downsample: 1}
-	p := c.Profile
-	if p == nil {
-		return st, fmt.Errorf("fleetprof: collector host %d has no profile", c.Host)
+	src := c.Source
+	if src == nil {
+		if c.Profile == nil {
+			return st, fmt.Errorf("fleetprof: collector host %d has no profile", c.Host)
+		}
+		src = ProfileSource{c.Profile}
 	}
 	bs := c.batchSamples()
-	consecDrops := 0
-	for seq, off := 0, 0; off < len(p.Samples) || (off == 0 && seq == 0); seq, off = seq+1, off+bs {
-		end := off + bs
-		if end > len(p.Samples) {
-			end = len(p.Samples)
-		}
-		shipped := thin(p.Samples[off:end], st.Downsample)
-		chunk := &profile.Profile{
-			Binary:  p.Binary,
-			BuildID: p.BuildID,
-			Period:  p.Period,
-			Samples: shipped,
-		}
-		var buf bytes.Buffer
-		if err := chunk.Write(&buf); err != nil {
-			return st, fmt.Errorf("fleetprof: host %d batch %d: %w", c.Host, seq, err)
-		}
-		payload := buf.Bytes()
-
-		lost, dup := t.plan(c.Host, seq)
-		st.Lost += int64(lost)
-		st.Retried += int64(lost)
-		attemptCost := SendLatencySeconds + float64(len(payload))*SendPerByteSeconds
-		st.ModeledSendSeconds += float64(lost+1)*attemptCost + float64(lost)*RetryTimeoutSeconds
-
-		dropped, err := c.deliver(svc, Batch{Host: c.Host, Seq: seq, Payload: payload}, &st)
-		if err != nil {
+	r := &collectorRun{
+		c: c, t: t, svc: svc, st: &st,
+		hdr:        src.Header(),
+		bs:         bs,
+		window:     make([]profile.Sample, 0, bs),
+		windowRecs: make([]profile.Branch, 0, bs*profile.LBRDepth),
+	}
+	if err := src.Samples(r.add); err != nil {
+		return st, err
+	}
+	// Ship the final partial window; an empty stream still ships one
+	// empty batch so the host's presence registers with the service.
+	if len(r.window) > 0 || r.seq == 0 {
+		if err := r.ship(); err != nil {
 			return st, err
-		}
-		if dropped {
-			st.Dropped++
-			consecDrops++
-			if consecDrops >= c.adaptAfterDrops() {
-				st.Downsample *= 2
-				consecDrops = 0
-			}
-			continue
-		}
-		consecDrops = 0
-		st.Sent++
-		if dup {
-			st.Dup++
-			// A network-duplicated copy: best-effort, never retried. If
-			// the queue is full the duplicate simply vanishes — the
-			// original already made it in.
-			_ = svc.Submit(Batch{Host: c.Host, Seq: seq, Payload: payload})
 		}
 	}
 	return st, nil
 }
 
-// thin keeps every d-th sample of a batch window — the unbiased
-// sampling-rate adaptation a collector applies under sustained
-// backpressure (d doubles after AdaptAfterDrops consecutive drops).
-func thin(samples []profile.Sample, d int64) []profile.Sample {
-	if d <= 1 {
-		return samples
+// collectorRun is the per-Run batching state: the current window of
+// samples (records copied into a reused flat buffer — emit slices are
+// only valid during the callback) and the reused encode buffers that make
+// the batch wire path allocation-free apart from the payload itself,
+// which must be owned by the in-flight batch.
+type collectorRun struct {
+	c   *Collector
+	t   Transport
+	svc *Service
+	st  *CollectorStats
+	hdr profile.Header
+	bs  int
+
+	window     []profile.Sample
+	windowRecs []profile.Branch
+	thinBuf    []profile.Sample
+	encBuf     []byte
+
+	seq         int
+	consecDrops int
+}
+
+func (r *collectorRun) add(s profile.Sample) error {
+	l := len(r.windowRecs)
+	r.windowRecs = append(r.windowRecs, s.Records...)
+	// If append moved the backing array, earlier window samples keep
+	// pointing into the old block — still intact, still correct.
+	r.window = append(r.window, profile.Sample{Records: r.windowRecs[l:len(r.windowRecs):len(r.windowRecs)]})
+	if len(r.window) == r.bs {
+		return r.ship()
 	}
-	out := make([]profile.Sample, 0, (len(samples)+int(d)-1)/int(d))
+	return nil
+}
+
+// ship encodes and delivers the current window as batch (host, seq),
+// then resets the window. Identical accounting to the materialized path:
+// seq advances even for dropped batches.
+func (r *collectorRun) ship() error {
+	c, st := r.c, r.st
+	shipped := r.window
+	if st.Downsample > 1 {
+		r.thinBuf = thinAppend(r.thinBuf[:0], r.window, st.Downsample)
+		shipped = r.thinBuf
+	}
+	chunk := profile.Profile{
+		Binary:  r.hdr.Binary,
+		BuildID: r.hdr.BuildID,
+		Period:  r.hdr.Period,
+		Samples: shipped,
+	}
+	r.encBuf = chunk.AppendWire(r.encBuf[:0])
+	// The payload crosses into the service's queues and is decoded
+	// asynchronously, so it must own its bytes: one exact-size copy, the
+	// only per-batch allocation on the wire path.
+	payload := append([]byte(nil), r.encBuf...)
+	seq := r.seq
+	r.seq++
+	r.window = r.window[:0]
+	r.windowRecs = r.windowRecs[:0]
+
+	lost, dup := r.t.plan(c.Host, seq)
+	st.Lost += int64(lost)
+	st.Retried += int64(lost)
+	attemptCost := SendLatencySeconds + float64(len(payload))*SendPerByteSeconds
+	st.ModeledSendSeconds += float64(lost+1)*attemptCost + float64(lost)*RetryTimeoutSeconds
+
+	dropped, err := c.deliver(r.svc, Batch{Host: c.Host, Seq: seq, Payload: payload}, st)
+	if err != nil {
+		return err
+	}
+	if dropped {
+		st.Dropped++
+		r.consecDrops++
+		if r.consecDrops >= c.adaptAfterDrops() {
+			st.Downsample *= 2
+			r.consecDrops = 0
+		}
+		return nil
+	}
+	r.consecDrops = 0
+	st.Sent++
+	if dup {
+		st.Dup++
+		// A network-duplicated copy: best-effort, never retried. If
+		// the queue is full the duplicate simply vanishes — the
+		// original already made it in.
+		_ = r.svc.Submit(Batch{Host: c.Host, Seq: seq, Payload: payload})
+	}
+	return nil
+}
+
+// thinAppend keeps every d-th sample of a batch window, appending into
+// dst — the unbiased sampling-rate adaptation a collector applies under
+// sustained backpressure (d doubles after AdaptAfterDrops consecutive
+// drops).
+func thinAppend(dst, samples []profile.Sample, d int64) []profile.Sample {
 	for i := 0; i < len(samples); i += int(d) {
-		out = append(out, samples[i])
+		dst = append(dst, samples[i])
 	}
-	return out
+	return dst
 }
 
 // deliver submits one batch with exponential backoff on queue-full, under

@@ -326,10 +326,10 @@ func TestRetryBudgetCap(t *testing.T) {
 // preserved, no bias toward either end of the window.
 func TestThin(t *testing.T) {
 	p := hostProfile(0, 10, "bid")
-	if got := thin(p.Samples, 1); len(got) != 10 {
+	if got := thinAppend(nil, p.Samples, 1); len(got) != 10 {
 		t.Fatalf("thin(1) = %d samples, want 10", len(got))
 	}
-	got := thin(p.Samples, 4)
+	got := thinAppend(nil, p.Samples, 4)
 	if len(got) != 3 {
 		t.Fatalf("thin(4) = %d samples, want 3", len(got))
 	}
@@ -404,5 +404,35 @@ func TestTransportPlanDeterministic(t *testing.T) {
 	}
 	if l, _ := (Transport{LossRate: 1, MaxLostAttempts: 5}).plan(0, 0); l != 5 {
 		t.Fatalf("loss cap: got %d lost attempts, want 5", l)
+	}
+}
+
+// TestCollectorEncodeAllocAmortized pins the batch wire path: with the
+// reused window and encode buffers in place, shipping K times as many
+// batches through one collector run must cost only per-batch constants
+// (the payload copy that crosses into the service queues, plus the
+// service side's stored batch), never per-sample or per-record encode
+// allocations. A regression to per-record allocation would multiply the
+// marginal rate by the ~192 records per batch and trip the bound.
+func TestCollectorEncodeAllocAmortized(t *testing.T) {
+	measure := func(batches int) float64 {
+		p := hostProfile(0, batches*64, "")
+		return testing.AllocsPerRun(3, func() {
+			svc := NewService(ServiceConfig{QueueDepth: batches + 8})
+			c := &Collector{Host: 0, Profile: p, BatchSamples: 64}
+			if _, err := c.Run(Transport{}, svc); err != nil {
+				t.Fatal(err)
+			}
+			svc.Drain()
+			if got := svc.Stats().AcceptedBatches; got != int64(batches) {
+				t.Fatalf("accepted %d batches, want %d", got, batches)
+			}
+		})
+	}
+	small, big := measure(4), measure(64)
+	perBatch := (big - small) / 60
+	if perBatch > 24 {
+		t.Errorf("%.1f marginal allocs per batch (%.0f at 4 batches, %.0f at 64), want <= 24",
+			perBatch, small, big)
 	}
 }

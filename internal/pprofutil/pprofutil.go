@@ -1,0 +1,64 @@
+// Package pprofutil wires the standard -cpuprofile/-memprofile flags
+// into the CLI entry points, so the raw-speed work in the simulator and
+// the profile pipeline can be attributed line by line with `go tool
+// pprof` instead of inferred from wall time.
+package pprofutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values for one command.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// Register adds -cpuprofile and -memprofile to the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	var f Flags
+	flag.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return &f
+}
+
+// Start begins CPU profiling when requested. The returned stop function
+// ends the CPU profile and writes the heap profile; run it before the
+// process exits (error paths that os.Exit early simply lose the
+// profiles, which is fine — they were diagnosing the happy path).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			mf.Close()
+		}
+	}, nil
+}

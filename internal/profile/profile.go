@@ -52,13 +52,23 @@ type Edge struct {
 // between one branch's target and the next branch's source, which the
 // whole-program analysis uses to assign block execution counts.
 func (p *Profile) Aggregate() map[Edge]uint64 {
-	out := make(map[Edge]uint64)
+	return p.AggregateInto(make(map[Edge]uint64, 1024))
+}
+
+// AggregateInto folds the profile's edge weights into dst and returns it,
+// reusing the caller's map across merges — the repeated-aggregation path
+// (serving tiers folding profile epochs) pays only for new edges instead
+// of rebuilding the map per profile. A nil dst allocates a fresh map.
+func (p *Profile) AggregateInto(dst map[Edge]uint64) map[Edge]uint64 {
+	if dst == nil {
+		dst = make(map[Edge]uint64, 1024)
+	}
 	for _, s := range p.Samples {
 		for _, r := range s.Records {
-			out[Edge{r.From, r.To}]++
+			dst[Edge{r.From, r.To}]++
 		}
 	}
-	return out
+	return dst
 }
 
 // FallRange is a contiguous execution range implied by two consecutive LBR
@@ -186,34 +196,72 @@ const (
 	maxSamples    = 1 << 28
 )
 
+// errWriter latches the first error of a write sequence. bufio.Writer
+// already keeps a sticky error internally, but latching it here makes the
+// check explicit: no write result is discarded, and the encode loop stays
+// branch-light.
+type errWriter struct {
+	bw      *bufio.Writer
+	err     error
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (e *errWriter) str(s string) {
+	if e.err == nil {
+		_, e.err = e.bw.WriteString(s)
+	}
+}
+
+func (e *errWriter) u(v uint64) {
+	if e.err == nil {
+		n := binary.PutUvarint(e.scratch[:], v)
+		_, e.err = e.bw.Write(e.scratch[:n])
+	}
+}
+
 // Write serializes the profile (the perf.data stand-in).
 func (p *Profile) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(profMagicV2); err != nil {
-		return err
-	}
-	var scratch [binary.MaxVarintLen64]byte
-	putU := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	putU(uint64(len(p.Binary)))
-	bw.WriteString(p.Binary)
-	putU(uint64(len(p.BuildID)))
-	bw.WriteString(p.BuildID)
-	putU(p.Period)
-	putU(uint64(len(p.Samples)))
+	ew := &errWriter{bw: bufio.NewWriter(w)}
+	ew.str(profMagicV2)
+	ew.u(uint64(len(p.Binary)))
+	ew.str(p.Binary)
+	ew.u(uint64(len(p.BuildID)))
+	ew.str(p.BuildID)
+	ew.u(p.Period)
+	ew.u(uint64(len(p.Samples)))
 	for _, s := range p.Samples {
-		putU(uint64(len(s.Records)))
+		ew.u(uint64(len(s.Records)))
 		for _, r := range s.Records {
-			putU(r.From)
-			if err := putU(r.To); err != nil {
-				return err
-			}
+			ew.u(r.From)
+			ew.u(r.To)
 		}
 	}
-	return bw.Flush()
+	if ew.err != nil {
+		return ew.err
+	}
+	return ew.bw.Flush()
+}
+
+// AppendWire appends the profile's wire encoding to dst and returns the
+// extended slice — byte-identical to what Write produces. This is the
+// collector batch path: encoding a small chunk into a reused buffer costs
+// zero allocations once the buffer has warmed up.
+func (p *Profile) AppendWire(dst []byte) []byte {
+	dst = append(dst, profMagicV2...)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Binary)))
+	dst = append(dst, p.Binary...)
+	dst = binary.AppendUvarint(dst, uint64(len(p.BuildID)))
+	dst = append(dst, p.BuildID...)
+	dst = binary.AppendUvarint(dst, p.Period)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Samples)))
+	for _, s := range p.Samples {
+		dst = binary.AppendUvarint(dst, uint64(len(s.Records)))
+		for _, r := range s.Records {
+			dst = binary.AppendUvarint(dst, r.From)
+			dst = binary.AppendUvarint(dst, r.To)
+		}
+	}
+	return dst
 }
 
 // Header is the leading metadata of a serialized profile.
@@ -225,7 +273,15 @@ type Header struct {
 	Samples uint64
 }
 
-func readString(br *bufio.Reader, what string, max uint64) (string, error) {
+// wireReader is what the decoder needs from its input. *bufio.Reader and
+// *bytes.Reader both satisfy it, so decoding an in-memory batch (the
+// ingestion-shard hot path) skips the bufio wrapper and its allocation.
+type wireReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+func readString(br wireReader, what string, max uint64) (string, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return "", fmt.Errorf("profile: truncated %s length: %w", what, err)
@@ -240,14 +296,14 @@ func readString(br *bufio.Reader, what string, max uint64) (string, error) {
 	return string(buf), nil
 }
 
-func readHeader(br *bufio.Reader) (Header, error) {
+func readHeader(br wireReader) (Header, error) {
 	var h Header
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return h, fmt.Errorf("profile: truncated magic: %w", err)
 	}
 	withBuildID := false
-	switch string(magic) {
+	switch string(magic[:]) {
 	case profMagicV2:
 		withBuildID = true
 	case profMagicV1:
@@ -284,7 +340,10 @@ func readHeader(br *bufio.Reader) (Header, error) {
 // callback returning an error aborts the read. The returned count is the
 // number of samples consumed.
 func Stream(r io.Reader, onHeader func(Header) error, onSample func(Sample) error) (Header, int, error) {
-	br := bufio.NewReader(r)
+	br, ok := r.(wireReader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
 	h, err := readHeader(br)
 	if err != nil {
 		return h, 0, err
@@ -325,6 +384,7 @@ func Stream(r io.Reader, onHeader func(Header) error, onSample func(Sample) erro
 // present.
 func Read(r io.Reader) (*Profile, error) {
 	p := &Profile{}
+	var arena branchArena
 	_, _, err := Stream(r, func(h Header) error {
 		p.Binary = h.Binary
 		p.BuildID = h.BuildID
@@ -338,15 +398,44 @@ func Read(r io.Reader) (*Profile, error) {
 		p.Samples = make([]Sample, 0, cap)
 		return nil
 	}, func(s Sample) error {
-		recs := make([]Branch, len(s.Records))
-		copy(recs, s.Records)
-		p.Samples = append(p.Samples, Sample{Records: recs})
+		p.Samples = append(p.Samples, Sample{Records: arena.save(s.Records)})
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// arenaBlockRecords sizes the decode arena's flat blocks: one allocation
+// backs ~128 full-depth samples instead of one per sample.
+const arenaBlockRecords = 1 << 12
+
+// branchArena hands out record slices carved from large flat blocks — the
+// arena-style decode of §5.1's memory fix: materializing a profile costs
+// one allocation per block, not per sample. Slices are capacity-clamped so
+// a later append cannot alias a neighbor.
+type branchArena struct {
+	block []Branch
+}
+
+func (a *branchArena) alloc(n int) []Branch {
+	if len(a.block)+n > cap(a.block) {
+		size := arenaBlockRecords
+		if n > size {
+			size = n
+		}
+		a.block = make([]Branch, 0, size)
+	}
+	l := len(a.block)
+	a.block = a.block[:l+n]
+	return a.block[l : l+n : l+n]
+}
+
+func (a *branchArena) save(recs []Branch) []Branch {
+	out := a.alloc(len(recs))
+	copy(out, recs)
+	return out
 }
 
 // SizeBytes estimates the serialized size, used by the memory model when

@@ -2,6 +2,8 @@ package profile
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -180,5 +182,124 @@ func TestMergeIntoFillsAndEnforcesIdentity(t *testing.T) {
 	}
 	if err := MergeInto(dst, nil); err == nil {
 		t.Error("nil delta accepted")
+	}
+}
+
+// failAfterWriter errors once n bytes have been accepted — the
+// short-write/full-disk case Write must not swallow.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if len(p) >= w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriteReportsWriterError: every write failure must surface, no
+// matter where in the stream it lands — the old encoder checked only
+// the final Flush, so a mid-stream error on an unbuffered writer was
+// silently dropped.
+func TestWriteReportsWriterError(t *testing.T) {
+	p := sample()
+	full := p.AppendWire(nil)
+	werr := fmt.Errorf("disk full")
+	for cut := 0; cut <= len(full); cut += 2 {
+		if err := p.Write(&failAfterWriter{n: cut, err: werr}); !errors.Is(err, werr) {
+			t.Fatalf("write failing at byte %d: err = %v, want %v", cut, err, werr)
+		}
+	}
+	if err := p.Write(&failAfterWriter{n: len(full) + 1, err: werr}); err != nil {
+		t.Errorf("writer with room for the full profile: %v", err)
+	}
+}
+
+// TestAppendWireMatchesWrite: the allocation-free encoder and the
+// io.Writer encoder must emit identical bytes — collectors use the
+// former, storage the latter, and the batch identity contract hashes
+// the result.
+func TestAppendWireMatchesWrite(t *testing.T) {
+	for _, p := range []*Profile{sample(), {}, {Binary: "b", BuildID: "id", Period: 1}} {
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.AppendWire(nil); !bytes.Equal(got, buf.Bytes()) {
+			t.Errorf("AppendWire diverges from Write for %+v", p)
+		}
+		// Appending after existing bytes must not disturb the prefix.
+		pre := []byte("prefix")
+		if got := p.AppendWire(pre); !bytes.Equal(got[:6], pre) || !bytes.Equal(got[6:], buf.Bytes()) {
+			t.Errorf("AppendWire with prefix corrupted output for %+v", p)
+		}
+	}
+}
+
+// TestAggregateInto: folding several profiles into one caller-owned map
+// must equal the sum of their individual aggregates, and nil dst must
+// still allocate.
+func TestAggregateInto(t *testing.T) {
+	a, b := sample(), &Profile{Samples: []Sample{
+		{Records: []Branch{{From: 0x100, To: 0x200}, {From: 0x999, To: 0x111}}},
+	}}
+	dst := a.AggregateInto(nil)
+	dst = b.AggregateInto(dst)
+	want := a.Aggregate()
+	for e, w := range b.Aggregate() {
+		want[e] += w
+	}
+	if !reflect.DeepEqual(dst, want) {
+		t.Errorf("AggregateInto = %v, want %v", dst, want)
+	}
+}
+
+// TestStreamZeroAllocPerSample pins the in-memory decode path: once the
+// reader is a *bytes.Reader (the ingestion-shard hot path), streaming a
+// batch allocates nothing per sample — the decoder reuses one record
+// buffer and the callback borrows it. Per-call costs (header strings,
+// the buffer's escape) are constant, so the pin is the marginal rate: a
+// 16x larger batch must cost exactly the same allocations.
+func TestStreamZeroAllocPerSample(t *testing.T) {
+	encode := func(samples int) []byte {
+		p := &Profile{Binary: "b", Period: 211}
+		for i := 0; i < samples; i++ {
+			p.Samples = append(p.Samples, Sample{Records: []Branch{
+				{From: uint64(i), To: uint64(i + 1)},
+				{From: uint64(i + 2), To: uint64(i)},
+			}})
+		}
+		return p.AppendWire(nil)
+	}
+	measure := func(wire []byte, wantRecs int) float64 {
+		r := bytes.NewReader(wire)
+		return testing.AllocsPerRun(10, func() {
+			r.Reset(wire)
+			n := 0
+			_, _, err := Stream(r, nil, func(s Sample) error {
+				n += len(s.Records)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != wantRecs {
+				t.Fatalf("decoded %d records, want %d", n, wantRecs)
+			}
+		})
+	}
+	small := measure(encode(128), 256)
+	big := measure(encode(2048), 4096)
+	// The larger batch decodes 1920 more samples, so any real per-sample
+	// cost would add at least 1920 allocs; a slack of 4 absorbs stray
+	// GC-epoch allocations without loosening the zero-per-sample pin.
+	if big > small+4 {
+		t.Errorf("per-sample decode allocates: %.1f allocs at 128 samples vs %.1f at 2048, want equal",
+			small, big)
 	}
 }

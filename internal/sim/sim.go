@@ -38,6 +38,14 @@ type Config struct {
 	// production machines would.
 	LBRPhase uint64
 
+	// OnSample, when non-nil (and LBRPeriod > 0), streams each LBR sample
+	// to the callback as it is taken instead of materializing
+	// Result.Profile — the collection pipeline overlaps ingestion with the
+	// still-running simulation this way. The sample's record slice is
+	// reused between calls and is only valid during the callback. A
+	// non-nil error aborts the run and is returned from Run unchanged.
+	OnSample func(profile.Sample) error
+
 	// Heatmap, when non-nil, records instruction fetches.
 	Heatmap *heatmap.Recorder
 
@@ -78,7 +86,9 @@ type Result struct {
 	Insts    uint64
 	Cycles   uint64
 	Counters Counters
-	Profile  *profile.Profile // non-nil when LBRPeriod was set
+	// Profile holds the run's LBR samples when LBRPeriod was set and no
+	// OnSample callback consumed them as a stream.
+	Profile *profile.Profile
 
 	// DataImage is the final data segment (including BSS) when
 	// Config.KeepMemory was set; it starts at the binary's DataBase.
@@ -97,35 +107,66 @@ func (r *Result) IPC() float64 {
 	return float64(r.Insts) / float64(r.Cycles)
 }
 
+// cachedInst is one pre-decoded instruction, packed to 16 bytes so the
+// flat decode table stays cache-friendly. size 0 marks a text offset where
+// no instruction decodes; executing it faults.
 type cachedInst struct {
-	inst isa.Inst
-	size int
+	imm  int64
+	op   isa.Op
+	a, b byte
+	size uint8
 }
 
-// Machine is a loaded binary ready to execute.
-type Machine struct {
+// Program is a loaded binary ready to execute. It is immutable after Load:
+// the decode table and LSDA index are built once, so any number of Run
+// calls — including concurrent ones from different goroutines — can share
+// one Program. All mutable run state (registers, stack, data image, uarch
+// model, LBR ring) is private to each Run call.
+type Program struct {
 	bin  *objfile.Binary
 	lsda map[uint64]uint64 // call-site end address → landing pad
 
-	decode map[uint64]cachedInst
+	// code is the flat decode table, one entry per text byte, indexed by
+	// pc - TextBase. Every offset is decoded eagerly at Load: jump tables
+	// may live inside text (data-in-code), so instruction boundaries are
+	// unknowable statically and per-offset decoding is the only scheme
+	// that never desynchronizes. Offsets that decode to nothing stay
+	// size 0 and fault only if fetched.
+	code []cachedInst
 }
 
-// Load prepares a binary for execution.
-func Load(bin *objfile.Binary) (*Machine, error) {
-	m := &Machine{bin: bin, decode: make(map[uint64]cachedInst)}
+// Load prepares a binary for execution. The returned Program is safe for
+// concurrent Run calls: fleet collection loads once and shares it across
+// every simulated host.
+func Load(bin *objfile.Binary) (*Program, error) {
+	p := &Program{bin: bin}
 	if len(bin.LSDA)%16 != 0 {
 		return nil, fmt.Errorf("sim: LSDA size %d not a multiple of 16", len(bin.LSDA))
 	}
-	m.lsda = make(map[uint64]uint64, len(bin.LSDA)/16)
+	p.lsda = make(map[uint64]uint64, len(bin.LSDA)/16)
 	for off := 0; off+16 <= len(bin.LSDA); off += 16 {
 		call := binary.LittleEndian.Uint64(bin.LSDA[off:])
 		pad := binary.LittleEndian.Uint64(bin.LSDA[off+8:])
-		m.lsda[call] = pad
+		p.lsda[call] = pad
 	}
 	if bin.Entry < bin.TextBase || bin.Entry >= bin.TextEnd() {
 		return nil, fmt.Errorf("sim: entry %#x outside text", bin.Entry)
 	}
-	return m, nil
+	p.code = make([]cachedInst, len(bin.Text))
+	for off := range bin.Text {
+		inst, size, err := isa.Decode(bin.Text, off)
+		if err != nil {
+			continue // not an instruction start; faults if ever fetched
+		}
+		p.code[off] = cachedInst{
+			imm:  inst.Imm,
+			op:   inst.Op,
+			a:    inst.A,
+			b:    inst.B,
+			size: uint8(size),
+		}
+	}
+	return p, nil
 }
 
 type frame struct {
@@ -134,8 +175,9 @@ type frame struct {
 	fpAtCall int64 // frame pointer to restore when unwinding into this frame
 }
 
-// Run executes the machine with the given configuration.
-func (m *Machine) Run(cfg Config) (*Result, error) {
+// Run executes the program with the given configuration. Runs are
+// independent: concurrent Run calls on one Program do not share state.
+func (p *Program) Run(cfg Config) (*Result, error) {
 	maxInsts := cfg.MaxInsts
 	if maxInsts == 0 {
 		maxInsts = 500_000_000
@@ -144,7 +186,7 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 	if stackSize == 0 {
 		stackSize = DefaultStackSize
 	}
-	bin := m.bin
+	bin := p.bin
 
 	var regs [isa.NumRegs]int64
 	regs[isa.RegArg0] = cfg.Args[0]
@@ -168,14 +210,21 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 		res.LoadMisses = map[uint64]uint64{}
 	}
 	var lbr lbrRing
-	if cfg.LBRPeriod > 0 {
+	var arena sampleArena
+	var streamBuf [profile.LBRDepth]profile.Branch
+	streaming := cfg.OnSample != nil
+	if cfg.LBRPeriod > 0 && !streaming {
 		res.Profile = &profile.Profile{Period: cfg.LBRPeriod, BuildID: bin.BuildID}
 	}
 
 	var callStack []frame
 
 	finish := func() {
-		m.finish(res, u)
+		if u != nil {
+			res.Cycles = u.cycles
+		} else {
+			res.Cycles = res.Insts
+		}
 		if cfg.KeepMemory {
 			res.DataImage = data
 		}
@@ -214,29 +263,28 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 	pc := bin.Entry
 	textBase := bin.TextBase
 	textEnd := bin.TextEnd()
+	code := p.code
 
 	for res.Insts < maxInsts {
 		if pc < textBase || pc >= textEnd {
 			return res, fault(pc, "instruction fetch outside text segment")
 		}
-		ci, ok := m.decode[pc]
-		if !ok {
-			inst, size, err := isa.Decode(bin.Text, int(pc-textBase))
-			if err != nil {
-				return res, fault(pc, "instruction decode failed: %v", err)
-			}
-			ci = cachedInst{inst: inst, size: size}
-			m.decode[pc] = ci
+		ci := code[pc-textBase]
+		if ci.size == 0 {
+			// Re-decode for the error detail: the table only records that
+			// nothing decodes here.
+			_, _, err := isa.Decode(bin.Text, int(pc-textBase))
+			return res, fault(pc, "instruction decode failed: %v", err)
 		}
 		if u != nil {
-			u.fetch(&res.Counters, pc, ci.size)
+			u.fetch(&res.Counters, pc, int(ci.size))
 		}
 		if cfg.Heatmap != nil {
 			cfg.Heatmap.Touch(pc, res.Insts)
 		}
 		res.Insts++
 		nextPC := pc + uint64(ci.size)
-		in := ci.inst
+		in := isa.Inst{Op: ci.op, A: ci.a, B: ci.b, Imm: ci.imm}
 
 		taken := false
 		var target uint64
@@ -372,7 +420,7 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 			isRet = true
 			target = uint64(v)
 		case isa.OpThrow:
-			pad, fr, fp, depth, ok := m.unwind(callStack)
+			pad, fr, fp, depth, ok := p.unwind(callStack)
 			if !ok {
 				return res, fault(pc, "uncaught exception")
 			}
@@ -415,7 +463,24 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 		}
 
 		if cfg.LBRPeriod > 0 && (res.Insts+cfg.LBRPhase)%cfg.LBRPeriod == 0 {
-			res.Profile.Samples = append(res.Profile.Samples, lbr.snapshot())
+			n := lbr.count()
+			if streaming {
+				// One reused buffer: the callback owns the records only for
+				// the duration of the call, so sampling allocates nothing.
+				recs := streamBuf[:n]
+				lbr.snapshotInto(recs)
+				if err := cfg.OnSample(profile.Sample{Records: recs}); err != nil {
+					finish()
+					return res, err
+				}
+			} else {
+				// Arena-backed materialization: samples are subslices of
+				// large flat blocks, zero allocations per sample once a
+				// block is warm.
+				recs := arena.alloc(n)
+				lbr.snapshotInto(recs)
+				res.Profile.Samples = append(res.Profile.Samples, profile.Sample{Records: recs})
+			}
 		}
 		pc = nextPC
 	}
@@ -426,22 +491,14 @@ func (m *Machine) Run(cfg Config) (*Result, error) {
 // landing pad. It returns the pad address, the SP and FP to restore (the
 // register state of the frame that owns the landing pad), and the new
 // stack depth.
-func (m *Machine) unwind(callStack []frame) (pad, sp uint64, fp int64, depth int, ok bool) {
+func (p *Program) unwind(callStack []frame) (pad, sp uint64, fp int64, depth int, ok bool) {
 	for i := len(callStack) - 1; i >= 0; i-- {
 		fr := callStack[i]
-		if p, found := m.lsda[fr.retAddr]; found {
-			return p, fr.spBefore, fr.fpAtCall, i, true
+		if lp, found := p.lsda[fr.retAddr]; found {
+			return lp, fr.spBefore, fr.fpAtCall, i, true
 		}
 	}
 	return 0, 0, 0, 0, false
-}
-
-func (m *Machine) finish(res *Result, u *uarch) {
-	if u != nil {
-		res.Cycles = u.cycles
-	} else {
-		res.Cycles = res.Insts
-	}
 }
 
 func sign(v int64) int64 {
@@ -452,6 +509,26 @@ func sign(v int64) int64 {
 		return 1
 	}
 	return 0
+}
+
+// sampleArenaRecords sizes the LBR sample arena's flat blocks: one
+// allocation backs ~2k full-depth samples.
+const sampleArenaRecords = 1 << 16
+
+// sampleArena backs a run's materialized LBR samples with chunked flat
+// blocks, so the per-sample snapshot is an arena carve instead of a heap
+// allocation. Slices are capacity-clamped so appends cannot alias.
+type sampleArena struct {
+	block []profile.Branch
+}
+
+func (a *sampleArena) alloc(n int) []profile.Branch {
+	if len(a.block)+n > cap(a.block) {
+		a.block = make([]profile.Branch, 0, sampleArenaRecords)
+	}
+	l := len(a.block)
+	a.block = a.block[:l+n]
+	return a.block[l : l+n : l+n]
 }
 
 // lbrRing is the 32-deep last branch record buffer.
@@ -470,15 +547,28 @@ func (l *lbrRing) push(from, to uint64) {
 	}
 }
 
-// snapshot returns the ring contents oldest-first.
-func (l *lbrRing) snapshot() profile.Sample {
-	var out []profile.Branch
+// count reports how many records a snapshot would hold.
+func (l *lbrRing) count() int {
 	if l.full {
-		out = make([]profile.Branch, 0, len(l.buf))
-		out = append(out, l.buf[l.pos:]...)
-		out = append(out, l.buf[:l.pos]...)
-	} else {
-		out = append([]profile.Branch(nil), l.buf[:l.pos]...)
+		return len(l.buf)
 	}
+	return l.pos
+}
+
+// snapshotInto copies the ring contents oldest-first into dst, which must
+// hold count() records.
+func (l *lbrRing) snapshotInto(dst []profile.Branch) {
+	if l.full {
+		n := copy(dst, l.buf[l.pos:])
+		copy(dst[n:], l.buf[:l.pos])
+	} else {
+		copy(dst, l.buf[:l.pos])
+	}
+}
+
+// snapshot returns the ring contents oldest-first in a fresh slice.
+func (l *lbrRing) snapshot() profile.Sample {
+	out := make([]profile.Branch, l.count())
+	l.snapshotInto(out)
 	return profile.Sample{Records: out}
 }

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"propeller/internal/profile"
+	"propeller/internal/testprog"
+)
+
+// runProfileBytes runs one sampled configuration to completion and
+// returns the wire encoding of the resulting profile.
+func runProfileBytes(t *testing.T, p *Program, cfg Config) []byte {
+	t.Helper()
+	res, err := p.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("sampled run produced no profile")
+	}
+	return res.Profile.AppendWire(nil)
+}
+
+// TestSharedProgramConcurrentRuns is the immutability contract of the
+// pre-decoded Program: many goroutines run distinct LBR phases off one
+// Load, and every run's profile must be byte-identical to the profile
+// the same configuration produces on a Program it has to itself. Run
+// under -race this also proves the decode table is never written after
+// Load.
+func TestSharedProgramConcurrentRuns(t *testing.T) {
+	bin := build(t, testprog.SumLoop(200_000), false)
+	shared, err := Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hosts = 8
+	cfg := func(h int) Config {
+		return Config{LBRPeriod: 97, LBRPhase: uint64(h)}
+	}
+
+	// Solo reference runs, each on its own freshly loaded Program.
+	want := make([][]byte, hosts)
+	for h := 0; h < hosts; h++ {
+		solo, err := Load(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[h] = runProfileBytes(t, solo, cfg(h))
+	}
+
+	got := make([][]byte, hosts)
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			res, err := shared.Run(cfg(h))
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			got[h] = res.Profile.AppendWire(nil)
+		}(h)
+	}
+	wg.Wait()
+	for h := 0; h < hosts; h++ {
+		if errs[h] != nil {
+			t.Fatalf("host %d: %v", h, errs[h])
+		}
+		if !bytes.Equal(got[h], want[h]) {
+			t.Errorf("host %d: concurrent profile differs from solo run", h)
+		}
+	}
+}
+
+// TestStreamingMatchesMaterialized replays the same run in both
+// sampling modes: the OnSample stream, copied sample by sample, must
+// reconstruct exactly the profile the materialized run returns.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	bin := build(t, testprog.SumLoop(100_000), false)
+	p, err := Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{LBRPeriod: 211, LBRPhase: 3}
+	mat, err := p.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := &profile.Profile{
+		Binary:  mat.Profile.Binary,
+		BuildID: mat.Profile.BuildID,
+		Period:  mat.Profile.Period,
+	}
+	scfg := cfg
+	scfg.OnSample = func(s profile.Sample) error {
+		// The callback's record slice is only valid during the call.
+		recs := append([]profile.Branch(nil), s.Records...)
+		rebuilt.Samples = append(rebuilt.Samples, profile.Sample{Records: recs})
+		return nil
+	}
+	sres, err := p.Run(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Profile != nil {
+		t.Error("streaming run must not materialize Result.Profile")
+	}
+	if sres.Insts != mat.Insts || sres.Exit != mat.Exit {
+		t.Errorf("streaming run diverged: insts %d vs %d, exit %d vs %d",
+			sres.Insts, mat.Insts, sres.Exit, mat.Exit)
+	}
+	if got, want := rebuilt.AppendWire(nil), mat.Profile.AppendWire(nil); !bytes.Equal(got, want) {
+		t.Errorf("streamed samples do not reconstruct the materialized profile (%d vs %d samples)",
+			len(rebuilt.Samples), len(mat.Profile.Samples))
+	}
+}
+
+// TestStreamingSampleErrorAborts: a callback error must stop the run
+// and surface unchanged.
+func TestStreamingSampleErrorAborts(t *testing.T) {
+	bin := build(t, testprog.SumLoop(100_000), false)
+	p, err := Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("collector full")
+	n := 0
+	_, err = p.Run(Config{LBRPeriod: 211, OnSample: func(profile.Sample) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	}})
+	if err != boom {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	if n != 3 {
+		t.Errorf("callback ran %d times after erroring at 3", n)
+	}
+}
+
+// TestLBRSampleZeroAllocSteadyState pins the streaming sample path at
+// zero heap allocations per sample: a densely sampled run may allocate
+// at most a hair more than a sparsely sampled run of the identical
+// execution — everything per-sample (ring snapshot, callback argument)
+// lives in run-owned scratch. The materialized path is held to the
+// arena's amortized rate: its extra allocations are bounded by arena
+// block refills plus Samples-slice growth, orders of magnitude below
+// one per sample.
+func TestLBRSampleZeroAllocSteadyState(t *testing.T) {
+	bin := build(t, testprog.SumLoop(200_000), false)
+	p, err := Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(cfg Config) (allocs float64, samples int) {
+		allocs = testing.AllocsPerRun(3, func() {
+			n := 0
+			c := cfg
+			if c.OnSample != nil {
+				c.OnSample = func(profile.Sample) error { n++; return nil }
+			}
+			res, err := p.Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Profile != nil {
+				n = len(res.Profile.Samples)
+			}
+			samples = n
+		})
+		return allocs, samples
+	}
+	nop := func(profile.Sample) error { return nil }
+
+	// Streaming: the dense run takes ~10x the samples of the sparse run;
+	// per-sample cost must be zero, so the totals may differ only by
+	// noise (background allocation during the longer wall time).
+	sparseA, sparseN := measure(Config{LBRPeriod: 997, OnSample: nop})
+	denseA, denseN := measure(Config{LBRPeriod: 101, OnSample: nop})
+	if denseN <= sparseN {
+		t.Fatalf("probe broken: dense %d samples <= sparse %d", denseN, sparseN)
+	}
+	if extra := denseA - sparseA; extra > 2 {
+		t.Errorf("streaming: %.1f extra allocs for %d extra samples, want 0 per sample",
+			extra, denseN-sparseN)
+	}
+
+	// Materialized: arena-amortized, far below one alloc per sample.
+	sparseA, sparseN = measure(Config{LBRPeriod: 997})
+	denseA, denseN = measure(Config{LBRPeriod: 101})
+	if perSample := (denseA - sparseA) / float64(denseN-sparseN); perSample > 0.05 {
+		t.Errorf("materialized: %.3f allocs per marginal sample, want arena-amortized (<0.05)", perSample)
+	}
+}

@@ -103,6 +103,8 @@ func (a *analyzer) projectAggregate(agg *Aggregate) {
 		}
 		a.graphs[fn] = &dcfg{info: fi, counts: counts, edges: fp.edges}
 	}
+	// The graphs map was rewritten behind getDCFG's back; drop its memo.
+	a.lastFn, a.lastG = "", nil
 	a.callEdges = agg.calls
 	a.st.Samples = agg.samples
 	a.st.Records = agg.records
@@ -251,9 +253,11 @@ func BuildAggregateStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Aggregate
 		}
 		a.st.AggregateWall = time.Since(aggStart)
 	} else {
-		// streamBatch samples per channel send amortizes the hand-off;
-		// the decoder's record buffer is reused across callbacks, so each
-		// sample's records must be copied before crossing the channel.
+		// streamBatch samples per channel send amortizes the hand-off; the
+		// decoder's record buffer is reused across callbacks, so records
+		// must be copied before crossing the channel — into one flat block
+		// per batch (each sample a capacity-clamped subslice), not one
+		// allocation per sample.
 		const streamBatch = 512
 		ch := make(chan []profile.Sample, w)
 		shards := make([]*analyzer, w)
@@ -272,13 +276,15 @@ func BuildAggregateStream(m *bbaddrmap.Map, r io.Reader, cfg Config) (*Aggregate
 			}(sh)
 		}
 		batch := make([]profile.Sample, 0, streamBatch)
+		block := make([]profile.Branch, 0, streamBatch*profile.LBRDepth)
 		_, _, serr := profile.Stream(r, onHeader, func(s profile.Sample) error {
-			recs := make([]profile.Branch, len(s.Records))
-			copy(recs, s.Records)
-			batch = append(batch, profile.Sample{Records: recs})
+			l := len(block)
+			block = append(block, s.Records...)
+			batch = append(batch, profile.Sample{Records: block[l:len(block):len(block)]})
 			if len(batch) == streamBatch {
 				ch <- batch
 				batch = make([]profile.Sample, 0, streamBatch)
+				block = make([]profile.Branch, 0, streamBatch*profile.LBRDepth)
 			}
 			return nil
 		})

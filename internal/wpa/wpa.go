@@ -221,6 +221,17 @@ type analyzer struct {
 	graphs    map[string]*dcfg
 	callEdges map[callKey]uint64
 	st        Stats
+
+	// resolver memoizes the per-record address resolution (two lookups
+	// and one fall-through range per LBR record) behind direct-mapped
+	// caches; profiled, the raw binary searches were half the whole
+	// analysis. Each shard owns its own resolver over the shared lookup.
+	resolver *bbaddrmap.Resolver
+	// lastFn/lastG memoize the most recent getDCFG hit: consecutive LBR
+	// records overwhelmingly stay within one function, so a string
+	// compare replaces most map lookups.
+	lastFn string
+	lastG  *dcfg
 }
 
 func newAnalyzer(m *bbaddrmap.Map) (*analyzer, error) {
@@ -233,6 +244,7 @@ func newAnalyzer(m *bbaddrmap.Map) (*analyzer, error) {
 		graphs:    map[string]*dcfg{},
 		callEdges: map[callKey]uint64{},
 	}
+	a.resolver = bbaddrmap.NewResolver(a.lookup)
 	for i := range m.Funcs {
 		fe := &m.Funcs[i]
 		fi := a.infos[fe.Name]
@@ -265,6 +277,7 @@ func (a *analyzer) newShard() *analyzer {
 		infos:     a.infos,
 		graphs:    map[string]*dcfg{},
 		callEdges: map[callKey]uint64{},
+		resolver:  bbaddrmap.NewResolver(a.lookup),
 	}
 }
 
@@ -291,11 +304,15 @@ func (a *analyzer) absorb(sh *analyzer) {
 }
 
 func (a *analyzer) getDCFG(fn string) *dcfg {
+	if a.lastG != nil && a.lastFn == fn {
+		return a.lastG
+	}
 	g := a.graphs[fn]
 	if g == nil {
 		g = &dcfg{info: a.infos[fn], counts: map[int]uint64{}, edges: map[edgeKey]uint64{}}
 		a.graphs[fn] = g
 	}
+	a.lastFn, a.lastG = fn, g
 	return g
 }
 
@@ -305,8 +322,8 @@ func (a *analyzer) addSample(s profile.Sample) {
 	for i, r := range s.Records {
 		a.st.Records++
 		// Classify the taken branch.
-		fromRef, _, fromEnd, fromOK := a.lookup.ResolveFull(r.From)
-		toRef, toStart := a.lookup.IsBlockStart(r.To)
+		fromRef, _, fromEnd, fromOK := a.resolver.ResolveFull(r.From)
+		toRef, toStart := a.resolver.IsBlockStart(r.To)
 		if fromOK && toStart && fromRef.Fn == toRef.Fn && fromEnd-r.From <= 10 {
 			// Intra-function branch: the source sits in the block's
 			// terminator region and the target is a block start.
@@ -329,7 +346,7 @@ func (a *analyzer) addSample(s profile.Sample) {
 		if i+1 < len(s.Records) {
 			next := s.Records[i+1]
 			if next.From >= r.To {
-				refs := a.lookup.BlocksInRange(r.To, next.From)
+				refs := a.resolver.BlocksInRange(r.To, next.From)
 				for j, ref := range refs {
 					g := a.getDCFG(ref.Fn)
 					g.counts[ref.ID]++
