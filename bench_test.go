@@ -1356,6 +1356,58 @@ func BenchmarkProfSvc(b *testing.B) {
 	}
 }
 
+// BenchmarkLayoutTournament races the default layout-policy field —
+// Ext-TSP, call-chain-first, path-cloned Ext-TSP, and the weight/window
+// sweeps — across the whole workload catalog on the uarch model, and
+// writes the BENCH_layout.json leaderboard (the CI bench-smoke artifact,
+// grepped for every default policy name and `"ok": true`). The smoke
+// contract requires all default policies raced everywhere, artifacts
+// byte-identical at every worker count, and at least one non-default
+// policy beating default Ext-TSP in modeled cycles on some workload.
+func BenchmarkLayoutTournament(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		res, err := eval.LayoutTournament(eval.LayoutTournamentConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		smoke := res.Smoke()
+		if !smoke.OK {
+			b.Fatalf("layout tournament smoke contract violated: %+v", smoke)
+		}
+
+		fmt.Printf("LayoutTournament: %d policies x %d workloads (workers %v)\n",
+			len(res.Policies), len(res.Leaders), res.Workers)
+		fmt.Printf("%-10s %-10s %12s %10s %9s %8s %9s %8s\n",
+			"workload", "policy", "cycles", "l1iMiss", "itlbMiss", "taken", "speedup", "vsDflt")
+		for _, c := range res.Cells {
+			fmt.Printf("%-10s %-10s %12d %10d %9d %8d %8.2f%% %7.2f%%\n",
+				c.Workload, c.Policy, c.Cycles, c.L1IMiss, c.ITLBMiss, c.TakenBranches,
+				c.SpeedupPct, c.DeltaVsDefaultPct)
+		}
+		wins := 0
+		for _, l := range res.Leaders {
+			if l.Policy != "exttsp" {
+				wins++
+			}
+			fmt.Printf("leader %-10s: %-10s %12d cycles (margin %.2f%% over default)\n",
+				l.Workload, l.Policy, l.Cycles, l.MarginPct)
+		}
+		b.ReportMetric(float64(wins), "nonDefaultWins")
+
+		f, err := os.Create("BENCH_layout.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = res.WriteBenchJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIncremental replays a developer edit against warm
 // content-keyed analysis and relink caches (edit fraction x WPA workers,
 // cold vs warm): a 1%-of-functions edit must re-run Ext-TSP on a few

@@ -10,6 +10,8 @@
 //	wsc-bench -spec
 //	wsc-bench -table 5 -workers 8 # parallel WPA (§4.7; 0 = all cores)
 //	wsc-bench -incr               # incremental edit-replay study, writes BENCH_incr.json
+//	wsc-bench -layout             # layout-policy tournament, writes BENCH_layout.json
+//	wsc-bench -layout -layout-policy pathclone,exttsp -set tiny
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"propeller/internal/eval"
 	"propeller/internal/pprofutil"
@@ -25,15 +28,17 @@ import (
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "every table and figure")
-		table   = flag.Int("table", 0, "regenerate Table N (2, 3, 5)")
-		fig     = flag.Int("fig", 0, "regenerate Fig N (4, 5, 6, 7, 8, 9)")
-		spec    = flag.Bool("spec", false, "SPEC2017 results (§5.4)")
-		set     = flag.String("set", "all", "workload set: all | wsc | oss | spec | tiny")
-		noBolt  = flag.Bool("no-bolt", false, "skip the BOLT comparator arm")
-		workers = flag.Int("workers", 0, "WPA parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
-		fleet   = flag.Bool("fleet", false, "fleet-collection scaling sweep (hosts x ingest shards x loss), writes BENCH_fleetprof.json")
-		incr    = flag.Bool("incr", false, "incremental edit-replay sweep (edit fraction x WPA workers, cold vs warm caches), writes BENCH_incr.json")
+		all          = flag.Bool("all", false, "every table and figure")
+		table        = flag.Int("table", 0, "regenerate Table N (2, 3, 5)")
+		fig          = flag.Int("fig", 0, "regenerate Fig N (4, 5, 6, 7, 8, 9)")
+		spec         = flag.Bool("spec", false, "SPEC2017 results (§5.4)")
+		set          = flag.String("set", "all", "workload set: all | wsc | oss | spec | tiny")
+		noBolt       = flag.Bool("no-bolt", false, "skip the BOLT comparator arm")
+		workers      = flag.Int("workers", 0, "WPA parallelism: 0 = all cores, 1 = serial (§4.7; output is identical either way)")
+		fleet        = flag.Bool("fleet", false, "fleet-collection scaling sweep (hosts x ingest shards x loss), writes BENCH_fleetprof.json")
+		incr         = flag.Bool("incr", false, "incremental edit-replay sweep (edit fraction x WPA workers, cold vs warm caches), writes BENCH_incr.json")
+		layout       = flag.Bool("layout", false, "layout-policy tournament across the workload catalog, writes BENCH_layout.json")
+		layoutPolicy = flag.String("layout-policy", "", "comma-separated subset of policies for -layout (default: all of "+defaultPolicyNames()+")")
 	)
 	prof := pprofutil.Register()
 	flag.Parse()
@@ -49,6 +54,10 @@ func main() {
 	}
 	if *incr {
 		runIncrSweep()
+		return
+	}
+	if *layout {
+		runLayoutTournament(*set, *layoutPolicy)
 		return
 	}
 	if !*all && *table == 0 && *fig == 0 && !*spec {
@@ -184,6 +193,73 @@ func runIncrSweep() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "wsc-bench: wrote BENCH_incr.json")
+}
+
+func defaultPolicyNames() string {
+	var names []string
+	for _, p := range eval.DefaultLayoutPolicies() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+// runLayoutTournament regenerates the layout-policy leaderboard (the
+// BenchmarkLayoutTournament artifact): every named policy relinked and
+// measured on the uarch model across the chosen workload set.
+func runLayoutTournament(set, policyList string) {
+	cfg := eval.LayoutTournamentConfig{}
+	if set != "all" {
+		cfg.Specs = pickSet(set)
+	}
+	if policyList != "" {
+		for _, name := range strings.Split(policyList, ",") {
+			name = strings.TrimSpace(name)
+			pol, ok := eval.PolicyByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wsc-bench: unknown layout policy %q (have %s)\n", name, defaultPolicyNames())
+				os.Exit(2)
+			}
+			cfg.Policies = append(cfg.Policies, pol)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "wsc-bench: layout-policy tournament (policy x workload)...")
+	res, err := eval.LayoutTournament(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: layout tournament: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-14s %-10s %12s %10s %9s %9s %8s %8s\n",
+		"workload", "policy", "cycles", "l1iMiss", "itlbMiss", "taken", "speedup", "vsDflt")
+	for _, c := range res.Cells {
+		fmt.Printf("%-14s %-10s %12d %10d %9d %9d %7.2f%% %7.2f%%\n",
+			c.Workload, c.Policy, c.Cycles, c.L1IMiss, c.ITLBMiss, c.TakenBranches,
+			c.SpeedupPct, c.DeltaVsDefaultPct)
+	}
+	for _, l := range res.Leaders {
+		fmt.Printf("leader %-14s: %-10s %12d cycles (margin %.2f%% over default)\n",
+			l.Workload, l.Policy, l.Cycles, l.MarginPct)
+	}
+	// The smoke contract is only meaningful over the full default field;
+	// report it but fail only when the run was the default one.
+	smoke := res.Smoke()
+	if policyList == "" && set == "all" && !smoke.OK {
+		fmt.Fprintf(os.Stderr, "wsc-bench: layout smoke contract violated: %+v\n", smoke)
+		os.Exit(1)
+	}
+	f, err := os.Create("BENCH_layout.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	err = res.WriteBenchJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wsc-bench: wrote BENCH_layout.json")
 }
 
 func pickSet(set string) []workload.Spec {

@@ -36,6 +36,7 @@ var defaultArtifacts = []string{
 	"BENCH_fleetprof.json",
 	"BENCH_profsvc.json",
 	"BENCH_incr.json",
+	"BENCH_layout.json",
 }
 
 // tolerances maps a metric-path substring to an allowed relative drift.

@@ -60,6 +60,7 @@ func main() {
 		statuszAt  = flag.String("statusz-addr", "", "serve the fleet ingestion /statusz snapshot over HTTP on this address, e.g. 127.0.0.1:8345 (with -fleet-hosts)")
 		warm       = flag.Bool("warm", false, "edit-replay mode: re-run analysis+relink of a replayed -edit-frac edit against warm content-keyed caches (requires -workload)")
 		editFrac   = flag.Float64("edit-frac", 0.01, "fraction of functions the replayed edit touches (with -warm)")
+		layoutPol  = flag.String("layout-policy", "", "named layout policy from the tournament field: "+policyNames()+" (default: exttsp)")
 	)
 	prof := pprofutil.Register()
 	flag.Parse()
@@ -80,6 +81,17 @@ func main() {
 	}
 	opts := core.Options{InterProc: *interProc, HugePages: *hugePages, SoftwarePrefetch: *doPrefetch}
 	opts.WPA.Workers = *workers
+	if *layoutPol != "" {
+		pol, ok := eval.PolicyByName(*layoutPol)
+		if !ok {
+			fatalf("unknown layout policy %q (have: %s)", *layoutPol, policyNames())
+		}
+		opts.InterProc = opts.InterProc || pol.InterProc
+		opts.WPA.KeepBlockOrder = pol.KeepBlockOrder
+		opts.WPA.PathClone = pol.PathClone
+		opts.WPA.ExtTSP = pol.Params
+		fmt.Printf("propeller: layout policy %s\n", pol.Name)
+	}
 	if *fleetHosts > 0 {
 		opts.Fleet = &core.FleetOptions{
 			Hosts:    *fleetHosts,
@@ -220,6 +232,16 @@ func runWarmReplay(wl string, editFrac float64, workers int) {
 	if !c.IdenticalArtifacts || !c.IdenticalBinary {
 		fatalf("warm outputs diverged from cold")
 	}
+}
+
+// policyNames lists the tournament's default policy field for flag help
+// and error messages.
+func policyNames() string {
+	var names []string
+	for _, p := range eval.DefaultLayoutPolicies() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, "|")
 }
 
 // findSpec resolves a workload name against the catalog (plus tiny).

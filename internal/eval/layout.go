@@ -1,0 +1,421 @@
+// Layout-policy tournament: N named layout policies — default Ext-TSP,
+// the hfsort+-style call-chain-first policy, path-cloned Ext-TSP, and a
+// small sweep of the Ext-TSP proximity weights — each run through the
+// full relink pipeline and measured on internal/sim's uarch model across
+// the workload catalog. The simulator is a deterministic, cheap fitness
+// function, so the policy search AI-PROPELLER needed a datacenter for is
+// a reproducible benchmark here (BENCH_layout.json).
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"propeller/internal/bbaddrmap"
+	"propeller/internal/buildsys"
+	"propeller/internal/core"
+	"propeller/internal/exttsp"
+	"propeller/internal/objfile"
+	"propeller/internal/sim"
+	"propeller/internal/workload"
+	"propeller/internal/wpa"
+)
+
+// LayoutPolicy names one contender: a complete layout configuration the
+// tournament maps onto wpa.Config.
+type LayoutPolicy struct {
+	Name           string        `json:"name"`
+	InterProc      bool          `json:"interProc,omitempty"`
+	KeepBlockOrder bool          `json:"keepBlockOrder,omitempty"`
+	PathClone      bool          `json:"pathClone,omitempty"`
+	Params         exttsp.Params `json:"params,omitempty"`
+}
+
+// DefaultLayoutPolicies is the tournament's standing field: the paper
+// baseline plus one contender per axis the design space offers.
+func DefaultLayoutPolicies() []LayoutPolicy {
+	return []LayoutPolicy{
+		// The paper's configuration: per-function Ext-TSP with the
+		// published weights. Every other policy is judged against it.
+		{Name: "exttsp"},
+		// hfsort+-style call-chain-first: only the C3 function order and
+		// the hot/cold split move code; blocks keep their original order.
+		{Name: "callchain", KeepBlockOrder: true},
+		// Path-cloned Ext-TSP: hot paths reconstructed from the LBR
+		// stream are cloned into fall-through chains before layout.
+		{Name: "pathclone", PathClone: true},
+		// Weight sweep: stronger, flatter forward preference.
+		{Name: "fw-heavy", Params: exttsp.Params{ForwardWeight: 0.4, BackwardWeight: 0.05}},
+		// Window sweep: doubled proximity windows.
+		{Name: "window-2x", Params: exttsp.Params{ForwardWindow: 2048, BackwardWindow: 1280}},
+	}
+}
+
+// PolicyByName resolves a default policy by its name.
+func PolicyByName(name string) (LayoutPolicy, bool) {
+	for _, p := range DefaultLayoutPolicies() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return LayoutPolicy{}, false
+}
+
+// wpaConfig maps the policy onto the analyzer configuration.
+func (p LayoutPolicy) wpaConfig(workers int, paths wpa.PathSet) wpa.Config {
+	cfg := wpa.Config{
+		InterProc:      p.InterProc,
+		KeepBlockOrder: p.KeepBlockOrder,
+		PathClone:      p.PathClone,
+		ExtTSP:         p.Params,
+		Workers:        workers,
+	}
+	if p.PathClone {
+		cfg.HotPaths = paths
+	}
+	return cfg
+}
+
+// LayoutTournamentConfig parameterizes the tournament.
+type LayoutTournamentConfig struct {
+	// Specs are the workloads to race on (default: the full catalog).
+	Specs []workload.Spec
+
+	// Policies are the contenders (default: DefaultLayoutPolicies).
+	Policies []LayoutPolicy
+
+	// Workers are the WPA worker counts every policy's analysis is
+	// replayed under (default 1, 4); the artifacts must be byte-identical
+	// across them.
+	Workers []int
+
+	// Slots is the modeled build executor width (default 8).
+	Slots int
+
+	// TrainInsts bounds the profiling run (default 60M); EvalInsts the
+	// per-binary measurement runs (default 40M).
+	TrainInsts uint64
+	EvalInsts  uint64
+	// LBRPeriod is the profiling sample period (default 211).
+	LBRPeriod uint64
+}
+
+func (c LayoutTournamentConfig) specs() []workload.Spec {
+	if len(c.Specs) == 0 {
+		return workload.Catalog()
+	}
+	return c.Specs
+}
+
+func (c LayoutTournamentConfig) policies() []LayoutPolicy {
+	if len(c.Policies) == 0 {
+		return DefaultLayoutPolicies()
+	}
+	return c.Policies
+}
+
+func (c LayoutTournamentConfig) workers() []int {
+	if len(c.Workers) == 0 {
+		return []int{1, 4}
+	}
+	return c.Workers
+}
+
+func (c LayoutTournamentConfig) slots() int {
+	if c.Slots <= 0 {
+		return 8
+	}
+	return c.Slots
+}
+
+func (c LayoutTournamentConfig) trainInsts() uint64 {
+	if c.TrainInsts == 0 {
+		return 60_000_000
+	}
+	return c.TrainInsts
+}
+
+func (c LayoutTournamentConfig) evalInsts() uint64 {
+	if c.EvalInsts == 0 {
+		return 40_000_000
+	}
+	return c.EvalInsts
+}
+
+func (c LayoutTournamentConfig) lbrPeriod() uint64 {
+	if c.LBRPeriod == 0 {
+		return 211
+	}
+	return c.LBRPeriod
+}
+
+// LayoutCell is one (workload, policy) leaderboard entry. Everything
+// except the measured wall time is a deterministic function of the
+// workload and policy, so the bench-regression gate compares it exactly.
+type LayoutCell struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+
+	// Modeled execution of the relinked binary.
+	Cycles        uint64 `json:"cycles"`
+	Insts         uint64 `json:"insts"`
+	L1IMiss       uint64 `json:"l1iMiss"`
+	ITLBMiss      uint64 `json:"itlbMiss"`
+	TakenBranches uint64 `json:"takenBranches"`
+
+	// SpeedupPct is the cycle improvement over the unoptimized baseline
+	// binary; DeltaVsDefaultPct the improvement over the "exttsp" policy
+	// on the same workload (positive = beats the default).
+	SpeedupPct        float64 `json:"speedupPct"`
+	DeltaVsDefaultPct float64 `json:"deltaVsDefaultPct"`
+
+	// HotFuncs is the layout's hot-function count; HotPathFuncs how many
+	// functions contributed reconstructed hot paths (path policies only).
+	HotFuncs     int `json:"hotFuncs"`
+	HotPathFuncs int `json:"hotPathFuncs,omitempty"`
+
+	// IdenticalAcrossWorkers: the policy's artifacts byte-compared equal
+	// at every configured worker count.
+	IdenticalAcrossWorkers bool `json:"identicalAcrossWorkers"`
+
+	// AnalysisSeconds is measured wall time; the "measured" prefix in the
+	// JSON key exempts it from the bench-regression gate.
+	AnalysisSeconds float64 `json:"measuredAnalysisSeconds"`
+}
+
+// LayoutLeader is one workload's winner row.
+type LayoutLeader struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Cycles   uint64 `json:"cycles"`
+	// MarginPct is the winner's cycle advantage over the default policy
+	// (zero when the default wins).
+	MarginPct float64 `json:"marginPct"`
+}
+
+// LayoutSmoke is the tournament's CI contract.
+type LayoutSmoke struct {
+	Policies []string `json:"policies"`
+	// PoliciesOK: every default policy raced on every workload.
+	PoliciesOK bool `json:"policiesOK"`
+	// Identical: every cell's artifacts were byte-identical across
+	// worker counts.
+	Identical bool `json:"identical"`
+	// NonDefaultWin: at least one non-default policy beat default
+	// Ext-TSP in modeled cycles on at least one workload.
+	NonDefaultWin bool `json:"nonDefaultWin"`
+	OK            bool `json:"ok"`
+}
+
+// LayoutTournamentResult is the full leaderboard.
+type LayoutTournamentResult struct {
+	Policies []LayoutPolicy `json:"policies"`
+	Workers  []int          `json:"workers"`
+	Cells    []LayoutCell   `json:"cells"`
+	Leaders  []LayoutLeader `json:"leaders"`
+
+	// BaselineCycles records each workload's unoptimized-binary run, the
+	// denominator of every SpeedupPct.
+	BaselineCycles map[string]uint64 `json:"baselineCycles"`
+}
+
+// Smoke evaluates the CI contract.
+func (r *LayoutTournamentResult) Smoke() LayoutSmoke {
+	s := LayoutSmoke{Identical: true}
+	for _, p := range DefaultLayoutPolicies() {
+		s.Policies = append(s.Policies, p.Name)
+	}
+	byWorkload := map[string]map[string]uint64{}
+	for _, c := range r.Cells {
+		if !c.IdenticalAcrossWorkers {
+			s.Identical = false
+		}
+		if byWorkload[c.Workload] == nil {
+			byWorkload[c.Workload] = map[string]uint64{}
+		}
+		byWorkload[c.Workload][c.Policy] = c.Cycles
+	}
+	s.PoliciesOK = len(byWorkload) > 0
+	for _, cycles := range byWorkload {
+		for _, name := range s.Policies {
+			if _, ok := cycles[name]; !ok {
+				s.PoliciesOK = false
+			}
+		}
+		def, ok := cycles["exttsp"]
+		if !ok {
+			continue
+		}
+		for name, cy := range cycles {
+			if name != "exttsp" && cy < def {
+				s.NonDefaultWin = true
+			}
+		}
+	}
+	s.OK = s.PoliciesOK && s.Identical && s.NonDefaultWin
+	return s
+}
+
+// WriteBenchJSON writes the BENCH_layout.json artifact (one shape shared
+// by BenchmarkLayoutTournament and `wsc-bench -layout`, so the committed
+// baselines apply to either producer).
+func (r *LayoutTournamentResult) WriteBenchJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"benchmark":      "LayoutTournament",
+		"policies":       r.Policies,
+		"workers":        r.Workers,
+		"records":        r.Cells,
+		"leaders":        r.Leaders,
+		"baselineCycles": r.BaselineCycles,
+		"smoke":          r.Smoke(),
+	})
+}
+
+// runLayoutBinary measures one binary on the uarch model.
+func runLayoutBinary(bin *objfile.Binary, maxInsts uint64) (*sim.Result, error) {
+	mach, err := sim.Load(bin)
+	if err != nil {
+		return nil, err
+	}
+	return mach.Run(sim.Config{MaxInsts: maxInsts})
+}
+
+// LayoutTournament races every policy on every workload. Per workload it
+// builds the metadata binary once, collects one profile, builds the
+// position-independent aggregate and the reconstructed hot paths once,
+// and then per policy: replays the analysis at every configured worker
+// count (byte-comparing the artifacts), relinks with the first count's
+// result, and measures the optimized binary on the simulator. The
+// emitted leaderboard is deterministic at every worker count — only the
+// measured* wall-clock fields vary run to run.
+func LayoutTournament(cfg LayoutTournamentConfig) (*LayoutTournamentResult, error) {
+	exec := &buildsys.Executor{Slots: cfg.slots()}
+	train := core.RunSpec{MaxInsts: cfg.trainInsts(), LBRPeriod: cfg.lbrPeriod()}
+	out := &LayoutTournamentResult{
+		Policies:       cfg.policies(),
+		Workers:        cfg.workers(),
+		BaselineCycles: map[string]uint64{},
+	}
+
+	for _, spec := range cfg.specs() {
+		prog, err := workload.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{
+			Executor:  exec,
+			HugePages: spec.HugePages,
+			IRCache:   buildsys.NewCache(),
+			ObjCache:  buildsys.NewCache(),
+		}
+		meta, err := core.BuildWithMetadata(prog.Core, opts)
+		if err != nil {
+			return nil, fmt.Errorf("eval %s: metadata build: %w", spec.Name, err)
+		}
+		prof, _, err := core.CollectProfile(meta.Binary, train, false)
+		if err != nil {
+			return nil, fmt.Errorf("eval %s: profile: %w", spec.Name, err)
+		}
+		m, err := bbaddrmap.Decode(meta.Binary.BBAddrMap)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := wpa.BuildAggregate(m, prof, wpa.Config{})
+		if err != nil {
+			return nil, err
+		}
+		paths, err := wpa.ReconstructPaths(m, prof, wpa.PathOptions{})
+		if err != nil {
+			return nil, err
+		}
+		irKeys := core.Phase1CacheIR(prog.Core, opts.IRCache)
+
+		base, err := core.BuildBaseline(prog.Core, opts)
+		if err != nil {
+			return nil, err
+		}
+		baseRun, err := runLayoutBinary(base.Binary, cfg.evalInsts())
+		if err != nil {
+			return nil, fmt.Errorf("eval %s: baseline run: %w", spec.Name, err)
+		}
+		out.BaselineCycles[spec.Name] = baseRun.Cycles
+
+		var defaultCycles uint64
+		var winner LayoutLeader
+		for _, pol := range cfg.policies() {
+			cell := LayoutCell{Workload: spec.Name, Policy: pol.Name, IdenticalAcrossWorkers: true}
+			if pol.PathClone {
+				cell.HotPathFuncs = len(paths)
+			}
+
+			// Replay the analysis at every worker count; all artifact
+			// pairs must byte-match the first.
+			var res *wpa.Result
+			var firstCC, firstLD []byte
+			start := time.Now()
+			for wi, w := range cfg.workers() {
+				r, err := wpa.AnalyzeAggregate(m, agg, pol.wpaConfig(w, paths))
+				if err != nil {
+					return nil, fmt.Errorf("eval %s/%s: analyze (workers=%d): %w", spec.Name, pol.Name, w, err)
+				}
+				cc, ld, err := artifactPair(r)
+				if err != nil {
+					return nil, err
+				}
+				if wi == 0 {
+					res, firstCC, firstLD = r, cc, ld
+				} else if !bytes.Equal(cc, firstCC) || !bytes.Equal(ld, firstLD) {
+					cell.IdenticalAcrossWorkers = false
+				}
+			}
+			cell.AnalysisSeconds = time.Since(start).Seconds()
+			cell.HotFuncs = res.Stats.HotFuncs
+
+			build, _, _, err := core.Relink(prog.Core, irKeys, res, opts)
+			if err != nil {
+				return nil, fmt.Errorf("eval %s/%s: relink: %w", spec.Name, pol.Name, err)
+			}
+			run, err := runLayoutBinary(build.Binary, cfg.evalInsts())
+			if err != nil {
+				return nil, fmt.Errorf("eval %s/%s: run: %w", spec.Name, pol.Name, err)
+			}
+			if run.Exit != baseRun.Exit {
+				return nil, fmt.Errorf("eval %s/%s: layout changed the checksum: %d vs %d",
+					spec.Name, pol.Name, run.Exit, baseRun.Exit)
+			}
+			cell.Cycles = run.Cycles
+			cell.Insts = run.Insts
+			cell.L1IMiss = run.Counters.L1IMiss
+			cell.ITLBMiss = run.Counters.ITLBMiss
+			cell.TakenBranches = run.Counters.TakenBranch
+			if baseRun.Cycles > 0 {
+				cell.SpeedupPct = 100 * (1 - float64(run.Cycles)/float64(baseRun.Cycles))
+			}
+			if pol.Name == "exttsp" {
+				defaultCycles = run.Cycles
+			}
+			if winner.Policy == "" || run.Cycles < winner.Cycles {
+				winner = LayoutLeader{Workload: spec.Name, Policy: pol.Name, Cycles: run.Cycles}
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+		// Second pass for the default-relative columns (the default policy
+		// may race in any position).
+		for i := range out.Cells {
+			c := &out.Cells[i]
+			if c.Workload == spec.Name && defaultCycles > 0 {
+				c.DeltaVsDefaultPct = 100 * (1 - float64(c.Cycles)/float64(defaultCycles))
+			}
+		}
+		if defaultCycles > 0 && winner.Cycles < defaultCycles {
+			winner.MarginPct = 100 * (1 - float64(winner.Cycles)/float64(defaultCycles))
+		}
+		out.Leaders = append(out.Leaders, winner)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+
+	"propeller/internal/workload"
+)
+
+// TestLayoutTournamentTiny races the default policy field on the tiny
+// workload: every policy must produce a valid (checksum-preserving)
+// binary, the analysis artifacts must be byte-identical at every worker
+// count, and the deterministic cell metrics must not depend on the
+// worker list at all.
+func TestLayoutTournamentTiny(t *testing.T) {
+	cfg := LayoutTournamentConfig{
+		Specs:      []workload.Spec{workload.Tiny()},
+		TrainInsts: 20_000_000,
+		EvalInsts:  20_000_000,
+	}
+	res, err := LayoutTournament(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPol := len(DefaultLayoutPolicies())
+	if len(res.Cells) != nPol {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), nPol)
+	}
+	if len(res.Leaders) != 1 || res.Leaders[0].Workload != "tiny" {
+		t.Fatalf("leaders = %+v", res.Leaders)
+	}
+	if res.BaselineCycles["tiny"] == 0 {
+		t.Error("no baseline cycles recorded")
+	}
+	seen := map[string]bool{}
+	for _, c := range res.Cells {
+		seen[c.Policy] = true
+		if !c.IdenticalAcrossWorkers {
+			t.Errorf("%s: artifacts differ across worker counts", c.Policy)
+		}
+		if c.Cycles == 0 || c.Insts == 0 || c.HotFuncs == 0 {
+			t.Errorf("%s: degenerate cell %+v", c.Policy, c)
+		}
+		if c.Policy == "pathclone" && c.HotPathFuncs == 0 {
+			t.Errorf("pathclone raced with no reconstructed paths")
+		}
+	}
+	for _, p := range DefaultLayoutPolicies() {
+		if !seen[p.Name] {
+			t.Errorf("policy %s missing from cells", p.Name)
+		}
+	}
+	s := res.Smoke()
+	if !s.PoliciesOK || !s.Identical {
+		t.Errorf("smoke: %+v", s)
+	}
+
+	// A different worker list must reproduce every deterministic metric.
+	cfg.Workers = []int{3}
+	again, err := LayoutTournament(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Cells {
+		a, b := res.Cells[i], again.Cells[i]
+		a.AnalysisSeconds, b.AnalysisSeconds = 0, 0
+		if a != b {
+			t.Errorf("cell %d differs across worker lists:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestLayoutSmokeAndJSON checks the CI contract evaluation and artifact
+// shape on synthetic results.
+func TestLayoutSmokeAndJSON(t *testing.T) {
+	res := &LayoutTournamentResult{
+		Policies:       DefaultLayoutPolicies(),
+		Workers:        []int{1, 4},
+		BaselineCycles: map[string]uint64{"w": 200},
+	}
+	for _, p := range DefaultLayoutPolicies() {
+		cy := uint64(100)
+		if p.Name == "fw-heavy" {
+			cy = 90 // a non-default winner
+		}
+		res.Cells = append(res.Cells, LayoutCell{
+			Workload: "w", Policy: p.Name, Cycles: cy, Insts: 1,
+			IdenticalAcrossWorkers: true,
+		})
+	}
+	s := res.Smoke()
+	if !s.OK || !s.PoliciesOK || !s.Identical || !s.NonDefaultWin {
+		t.Errorf("smoke on passing tournament: %+v", s)
+	}
+	// Remove the win: smoke must fail NonDefaultWin.
+	for i := range res.Cells {
+		res.Cells[i].Cycles = 100
+	}
+	if s := res.Smoke(); s.OK || s.NonDefaultWin {
+		t.Errorf("smoke missed the absent non-default win: %+v", s)
+	}
+	// Drop a policy: PoliciesOK must fail.
+	res.Cells = res.Cells[1:]
+	if s := res.Smoke(); s.OK || s.PoliciesOK {
+		t.Errorf("smoke missed the missing policy: %+v", s)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteBenchJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"benchmark": "LayoutTournament"`, `"records"`, `"leaders"`, `"smoke"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("artifact missing %s", want)
+		}
+	}
+}

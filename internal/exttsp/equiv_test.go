@@ -50,8 +50,8 @@ func TestHeapNaiveScoreEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sn := ScoreWith(g, on, scratch)
-		sh := ScoreWith(g, oh, scratch)
+		sn := ScoreWith(g, on, Params{}, scratch)
+		sh := ScoreWith(g, oh, Params{}, scratch)
 		if sn != sh {
 			t.Fatalf("trial %d (n=%d forced=%d): naive score %v != heap score %v\nnaive order %v\nheap order  %v",
 				trial, n, forced, sn, sh, on, oh)
@@ -76,14 +76,14 @@ func TestScoreWithScratchMatchesScore(t *testing.T) {
 			order = order[:1+rng.Intn(len(order))]
 		}
 		want := Score(g, order)
-		if got := ScoreWith(g, order, scratch); got != want {
+		if got := ScoreWith(g, order, Params{}, scratch); got != want {
 			t.Fatalf("trial %d: ScoreWith %v != Score %v", trial, got, want)
 		}
 	}
 	g := fuzzGraph(rng, 64)
 	order := rng.Perm(64)
-	ScoreWith(g, order, scratch) // warm the buffers
-	allocs := testing.AllocsPerRun(100, func() { ScoreWith(g, order, scratch) })
+	ScoreWith(g, order, Params{}, scratch) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() { ScoreWith(g, order, Params{}, scratch) })
 	if allocs != 0 {
 		t.Errorf("ScoreWith with warm scratch allocates %.1f times per call, want 0", allocs)
 	}
@@ -209,7 +209,7 @@ func (st *refState) chainScore(nodes []int) float64 {
 			if !ok {
 				continue
 			}
-			total += edgeGain(e.Weight, pos[e.Src]+st.g.Nodes[e.Src].Size, dp)
+			total += st.opts.Params.normalize().edgeGain(e.Weight, pos[e.Src]+st.g.Nodes[e.Src].Size, dp)
 		}
 	}
 	return total

@@ -25,7 +25,10 @@ import (
 	"sort"
 )
 
-// Scoring constants from the Ext-TSP model.
+// Default scoring constants from the Ext-TSP model (Newell & Pupyrev's
+// published parameters). They are documentation and the zero-value
+// resolution of Params — the scoring loops never read them directly, so
+// evaluating several parameterizations concurrently is race-free.
 const (
 	FallthroughWeight = 1.0
 	ForwardWeight     = 0.1
@@ -33,6 +36,57 @@ const (
 	ForwardWindow     = 1024 // bytes
 	BackwardWindow    = 640  // bytes
 )
+
+// Params are the Ext-TSP proximity-scoring parameters. The zero value
+// means "the paper defaults" field by field: any field left at zero
+// resolves to the matching package constant, so Params{} scores exactly
+// like the historical package-level constants did (a property pinned by
+// the golden-defaults test). To effectively disable a weight, pass a
+// tiny non-zero value rather than zero.
+type Params struct {
+	// FallthroughWeight scales an edge whose target directly follows its
+	// source (0 = FallthroughWeight, the default 1.0).
+	FallthroughWeight float64
+	// ForwardWeight scales a short forward jump (0 = ForwardWeight, 0.1).
+	ForwardWeight float64
+	// BackwardWeight scales a short backward jump (0 = BackwardWeight, 0.1).
+	BackwardWeight float64
+	// ForwardWindow is the forward-jump decay window in bytes
+	// (0 = ForwardWindow, 1024).
+	ForwardWindow int64
+	// BackwardWindow is the backward-jump decay window in bytes
+	// (0 = BackwardWindow, 640).
+	BackwardWindow int64
+}
+
+// Resolve returns p with every zero field replaced by its paper-default
+// value — the concrete parameterization the zero value denotes. Callers
+// that fingerprint Params (e.g. layout-policy cache keys) should resolve
+// first so a zero Params and an explicitly-spelled default never alias
+// to different keys.
+func (p Params) Resolve() Params {
+	return p.normalize()
+}
+
+// normalize resolves zero fields to the paper defaults.
+func (p Params) normalize() Params {
+	if p.FallthroughWeight == 0 {
+		p.FallthroughWeight = FallthroughWeight
+	}
+	if p.ForwardWeight == 0 {
+		p.ForwardWeight = ForwardWeight
+	}
+	if p.BackwardWeight == 0 {
+		p.BackwardWeight = BackwardWeight
+	}
+	if p.ForwardWindow == 0 {
+		p.ForwardWindow = ForwardWindow
+	}
+	if p.BackwardWindow == 0 {
+		p.BackwardWindow = BackwardWindow
+	}
+	return p
+}
 
 // Node is one layout unit (a basic block) with its code size and execution
 // count.
@@ -67,6 +121,10 @@ type Options struct {
 	// (X1-Y-X2) are explored; longer chains only try concatenations.
 	// Zero means 128.
 	MaxSplitChain int
+
+	// Params are the proximity-scoring parameters; the zero value selects
+	// the paper defaults.
+	Params Params
 }
 
 func (o Options) maxSplit() int {
@@ -77,22 +135,24 @@ func (o Options) maxSplit() int {
 }
 
 // edgeGain scores one edge given the source end offset and target start
-// offset in a candidate layout.
-func edgeGain(weight uint64, srcEnd, dstStart int64) float64 {
+// offset in a candidate layout. The receiver must be normalized: every
+// caller holds a normalize()d copy, so the hot loop never re-resolves
+// defaults (and two goroutines with different Params never share state).
+func (p Params) edgeGain(weight uint64, srcEnd, dstStart int64) float64 {
 	w := float64(weight)
 	if dstStart == srcEnd {
-		return FallthroughWeight * w
+		return p.FallthroughWeight * w
 	}
 	if dstStart > srcEnd {
 		d := dstStart - srcEnd
-		if d < ForwardWindow {
-			return ForwardWeight * w * (1 - float64(d)/ForwardWindow)
+		if d < p.ForwardWindow {
+			return p.ForwardWeight * w * (1 - float64(d)/float64(p.ForwardWindow))
 		}
 		return 0
 	}
 	d := srcEnd - dstStart
-	if d < BackwardWindow {
-		return BackwardWeight * w * (1 - float64(d)/BackwardWindow)
+	if d < p.BackwardWindow {
+		return p.BackwardWeight * w * (1 - float64(d)/float64(p.BackwardWindow))
 	}
 	return 0
 }
@@ -116,18 +176,20 @@ func (s *Scratch) grow(n int) {
 }
 
 // Score evaluates the Ext-TSP objective of a complete order (a permutation
-// of node indices).
+// of node indices) under the default scoring parameters.
 func Score(g *Graph, order []int) float64 {
-	return ScoreWith(g, order, nil)
+	return ScoreWith(g, order, Params{}, nil)
 }
 
-// ScoreWith is Score with caller-provided scratch buffers; nil scratch
-// allocates fresh ones. Reusing one Scratch across calls keeps repeated
-// scoring allocation-free.
-func ScoreWith(g *Graph, order []int, s *Scratch) float64 {
+// ScoreWith is Score under explicit scoring parameters, with
+// caller-provided scratch buffers; nil scratch allocates fresh ones.
+// Reusing one Scratch across calls keeps repeated scoring
+// allocation-free.
+func ScoreWith(g *Graph, order []int, p Params, s *Scratch) float64 {
 	if s == nil {
 		s = &Scratch{}
 	}
+	p = p.normalize()
 	s.grow(len(g.Nodes))
 	s.epoch++
 	ep := s.epoch
@@ -142,7 +204,7 @@ func ScoreWith(g *Graph, order []int, s *Scratch) float64 {
 		if s.gen[e.Src] != ep || s.gen[e.Dst] != ep {
 			continue
 		}
-		total += edgeGain(e.Weight, s.offset[e.Src]+g.Nodes[e.Src].Size, s.offset[e.Dst])
+		total += p.edgeGain(e.Weight, s.offset[e.Src]+g.Nodes[e.Src].Size, s.offset[e.Dst])
 	}
 	return total
 }
@@ -205,10 +267,14 @@ type state struct {
 	nbGen  []int64 // chain id -> epoch stamp for neighbor dedup
 	epoch  int64
 	nbBuf  []int // reused neighbor id buffer (invalidated by next call)
+
+	// pr is opts.Params resolved against the paper defaults, so scoring
+	// never consults package-level state.
+	pr Params
 }
 
 func newState(g *Graph, opts Options) *state {
-	st := &state{g: g, opts: opts}
+	st := &state{g: g, opts: opts, pr: opts.Params.normalize()}
 	st.chains = make([]*chain, len(g.Nodes))
 	st.owner = make([]int, len(g.Nodes))
 	for i := range g.Nodes {
@@ -282,7 +348,7 @@ func (st *state) chainScore(nodes []int) float64 {
 			if st.posGen[e.Dst] != ep {
 				continue
 			}
-			total += edgeGain(e.Weight, st.pos[e.Src]+st.g.Nodes[e.Src].Size, st.pos[e.Dst])
+			total += st.pr.edgeGain(e.Weight, st.pos[e.Src]+st.g.Nodes[e.Src].Size, st.pos[e.Dst])
 		}
 	}
 	return total

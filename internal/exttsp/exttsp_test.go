@@ -65,24 +65,25 @@ func TestScoreRewardsFallthrough(t *testing.T) {
 }
 
 func TestEdgeGainModel(t *testing.T) {
-	if g := edgeGain(100, 64, 64); g != 100*FallthroughWeight {
+	p := Params{}.normalize()
+	if g := p.edgeGain(100, 64, 64); g != 100*FallthroughWeight {
 		t.Errorf("fallthrough gain = %f", g)
 	}
-	if g := edgeGain(100, 64, 64+512); g <= 0 || g >= 100*ForwardWeight {
+	if g := p.edgeGain(100, 64, 64+512); g <= 0 || g >= 100*ForwardWeight {
 		t.Errorf("forward gain = %f out of (0, %f)", g, 100*ForwardWeight)
 	}
-	if g := edgeGain(100, 64, 64+ForwardWindow); g != 0 {
+	if g := p.edgeGain(100, 64, 64+ForwardWindow); g != 0 {
 		t.Errorf("out-of-window forward gain = %f", g)
 	}
-	if g := edgeGain(100, 640, 320); g <= 0 || g >= 100*BackwardWeight {
+	if g := p.edgeGain(100, 640, 320); g <= 0 || g >= 100*BackwardWeight {
 		t.Errorf("backward gain = %f out of (0, %f)", g, 100*BackwardWeight)
 	}
-	if g := edgeGain(100, BackwardWindow+64, 64); g != 0 {
+	if g := p.edgeGain(100, BackwardWindow+64, 64); g != 0 {
 		t.Errorf("out-of-window backward gain = %f", g)
 	}
 	// Nearer forward targets gain more.
-	near := edgeGain(100, 0, 64)
-	far := edgeGain(100, 0, 512)
+	near := p.edgeGain(100, 0, 64)
+	far := p.edgeGain(100, 0, 512)
 	if near <= far {
 		t.Errorf("near gain %f <= far gain %f", near, far)
 	}

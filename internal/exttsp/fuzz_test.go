@@ -68,7 +68,7 @@ func FuzzHeapNaiveEquivalence(f *testing.F) {
 				len(g.Nodes), forced, on, oh)
 		}
 		scratch := &Scratch{}
-		if sn, sh := ScoreWith(g, on, scratch), ScoreWith(g, oh, scratch); sn != sh {
+		if sn, sh := ScoreWith(g, on, Params{}, scratch), ScoreWith(g, oh, Params{}, scratch); sn != sh {
 			t.Fatalf("scores diverged: naive %v heap %v", sn, sh)
 		}
 	})

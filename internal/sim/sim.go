@@ -565,10 +565,3 @@ func (l *lbrRing) snapshotInto(dst []profile.Branch) {
 		copy(dst, l.buf[:l.pos])
 	}
 }
-
-// snapshot returns the ring contents oldest-first in a fresh slice.
-func (l *lbrRing) snapshot() profile.Sample {
-	out := make([]profile.Branch, l.count())
-	l.snapshotInto(out)
-	return profile.Sample{Records: out}
-}

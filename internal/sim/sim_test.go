@@ -10,6 +10,7 @@ import (
 	"propeller/internal/isa"
 	"propeller/internal/linker"
 	"propeller/internal/objfile"
+	"propeller/internal/profile"
 	"propeller/internal/testprog"
 )
 
@@ -177,12 +178,13 @@ func TestLBRDepthAndOrdering(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		ring.push(uint64(i), uint64(i+1000))
 	}
-	s := ring.snapshot()
-	if len(s.Records) != 32 {
-		t.Fatalf("snapshot has %d records, want 32", len(s.Records))
+	recs := make([]profile.Branch, ring.count())
+	ring.snapshotInto(recs)
+	if len(recs) != 32 {
+		t.Fatalf("snapshot has %d records, want 32", len(recs))
 	}
 	// Oldest-first: records 68..99.
-	for i, r := range s.Records {
+	for i, r := range recs {
 		if r.From != uint64(68+i) {
 			t.Fatalf("record %d From = %d, want %d", i, r.From, 68+i)
 		}
@@ -191,9 +193,10 @@ func TestLBRDepthAndOrdering(t *testing.T) {
 	var small lbrRing
 	small.push(7, 8)
 	small.push(9, 10)
-	s = small.snapshot()
-	if len(s.Records) != 2 || s.Records[0].From != 7 || s.Records[1].From != 9 {
-		t.Errorf("partial snapshot wrong: %+v", s.Records)
+	recs = make([]profile.Branch, small.count())
+	small.snapshotInto(recs)
+	if len(recs) != 2 || recs[0].From != 7 || recs[1].From != 9 {
+		t.Errorf("partial snapshot wrong: %+v", recs)
 	}
 }
 

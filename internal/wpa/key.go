@@ -48,10 +48,20 @@ func (fi *funcInfo) contentHash() string {
 
 // layoutPolicyKey captures every Config knob that influences layout
 // output. Changing any of them must miss the layout caches even when the
-// profile epoch and function shapes are unchanged.
+// profile epoch and function shapes are unchanged. The Ext-TSP params
+// are resolved first so a zero Params and explicitly-spelled paper
+// defaults share cache entries (they produce identical layouts); every
+// Params field must appear here — TestLayoutPolicyKeyCoversParams
+// enforces that by reflection.
 func (c Config) layoutPolicyKey() string {
-	return fmt.Sprintf("hot=%d naive=%t interproc=%t maxcluster=%d",
-		c.hotThreshold(), c.NaiveExtTSP, c.InterProc, c.MaxClusterSize)
+	p := c.ExtTSP.Resolve()
+	key := fmt.Sprintf("hot=%d naive=%t interproc=%t maxcluster=%d keeporder=%t ftw=%g fww=%g bww=%g fwin=%d bwin=%d",
+		c.hotThreshold(), c.NaiveExtTSP, c.InterProc, c.MaxClusterSize, c.KeepBlockOrder,
+		p.FallthroughWeight, p.ForwardWeight, p.BackwardWeight, p.ForwardWindow, p.BackwardWindow)
+	if c.PathClone {
+		key += " paths=" + c.HotPaths.fingerprint()
+	}
+	return key
 }
 
 func aggCacheKey(epoch string) string {

@@ -1,0 +1,113 @@
+package wpa
+
+import (
+	"reflect"
+	"testing"
+
+	"propeller/internal/buildsys"
+	"propeller/internal/exttsp"
+)
+
+// TestLayoutPolicyKeyCoversParams walks exttsp.Params by reflection and
+// perturbs one field at a time: every perturbation must change
+// layoutPolicyKey. Adding a Params field without keying it would make
+// the incremental cache serve one policy's layouts to another — this
+// test fails the moment such a field appears.
+func TestLayoutPolicyKeyCoversParams(t *testing.T) {
+	base := Config{}.layoutPolicyKey()
+	pt := reflect.TypeOf(exttsp.Params{})
+	for i := 0; i < pt.NumField(); i++ {
+		f := pt.Field(i)
+		var p exttsp.Params
+		pv := reflect.ValueOf(&p).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Float64:
+			pv.SetFloat(0.777 + float64(i))
+		case reflect.Int, reflect.Int64:
+			pv.SetInt(31337 + int64(i))
+		default:
+			t.Fatalf("Params.%s has kind %v: teach this test to perturb it and key it in layoutPolicyKey", f.Name, f.Type.Kind())
+		}
+		if got := (Config{ExtTSP: p}).layoutPolicyKey(); got == base {
+			t.Errorf("layoutPolicyKey ignores Params.%s (key %q)", f.Name, got)
+		}
+	}
+}
+
+// TestLayoutPolicyKeyNormalizesDefaults: a zero Params and the paper
+// defaults spelled out produce identical layouts, so they must share one
+// cache key.
+func TestLayoutPolicyKeyNormalizesDefaults(t *testing.T) {
+	explicit := Config{ExtTSP: exttsp.Params{
+		FallthroughWeight: exttsp.FallthroughWeight,
+		ForwardWeight:     exttsp.ForwardWeight,
+		BackwardWeight:    exttsp.BackwardWeight,
+		ForwardWindow:     exttsp.ForwardWindow,
+		BackwardWindow:    exttsp.BackwardWindow,
+	}}
+	if a, b := (Config{}).layoutPolicyKey(), explicit.layoutPolicyKey(); a != b {
+		t.Errorf("zero Params key %q != explicit-defaults key %q", a, b)
+	}
+}
+
+// TestLayoutPolicyKeyCoversPolicyKnobs: the non-Params policy knobs added
+// for the tournament must be keyed too.
+func TestLayoutPolicyKeyCoversPolicyKnobs(t *testing.T) {
+	base := Config{}.layoutPolicyKey()
+	if got := (Config{KeepBlockOrder: true}).layoutPolicyKey(); got == base {
+		t.Error("layoutPolicyKey ignores KeepBlockOrder")
+	}
+	pcEmpty := Config{PathClone: true}.layoutPolicyKey()
+	if pcEmpty == base {
+		t.Error("layoutPolicyKey ignores PathClone")
+	}
+	withPaths := Config{PathClone: true, HotPaths: PathSet{
+		"foo": {{Blocks: []int{0, 1, 3}, Count: 9}},
+	}}.layoutPolicyKey()
+	if withPaths == pcEmpty {
+		t.Error("layoutPolicyKey ignores the hot-path contents")
+	}
+}
+
+// TestCacheNeverAliasesAcrossParams runs two analyses with different
+// Ext-TSP params through one shared cache under one profile epoch: the
+// second run must not be served the first run's layouts.
+func TestCacheNeverAliasesAcrossParams(t *testing.T) {
+	m, prof := synthMap(), synthProfile(50)
+	cache := buildsys.NewCache()
+	mk := func(p exttsp.Params) Config {
+		return Config{Cache: cache, ProfileEpoch: "e1", ExtTSP: p}
+	}
+	want := func(p exttsp.Params) *Result {
+		res, err := Analyze(m, prof, Config{ExtTSP: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Extreme backward preference: within the 4-block synthetic function
+	// the parameters may or may not flip the layout; the contract under
+	// test is only that cached output == uncached output per-params.
+	swept := exttsp.Params{ForwardWeight: 0.9, BackwardWeight: 0.0001, ForwardWindow: 8192}
+	for _, p := range []exttsp.Params{{}, swept} {
+		fresh := want(p)
+		cachedRes, err := Analyze(m, prof, mk(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cachedRes.Directives, fresh.Directives) {
+			t.Errorf("params %+v: cached directives %v != uncached %v", p, cachedRes.Directives, fresh.Directives)
+		}
+		// Run again warm: a same-params hit must still match.
+		warm, err := Analyze(m, prof, mk(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Stats.GlobalCacheHit {
+			t.Errorf("params %+v: second run missed the global layout cache", p)
+		}
+		if !reflect.DeepEqual(warm.Directives, fresh.Directives) {
+			t.Errorf("params %+v: warm directives diverged", p)
+		}
+	}
+}

@@ -36,6 +36,32 @@ type Config struct {
 	// default is the heap-based "logarithmic retrieval" variant.
 	NaiveExtTSP bool
 
+	// ExtTSP sets the Ext-TSP proximity-scoring parameters for every
+	// layout run (the weight-sweep axis of the layout-policy tournament);
+	// the zero value selects the paper defaults.
+	ExtTSP exttsp.Params
+
+	// KeepBlockOrder skips intra-function Ext-TSP entirely and keeps each
+	// hot function's blocks in their original map order (entry first) —
+	// the hfsort+-style call-chain-first policy, where only the global
+	// function order and the hot/cold split move code. Intra-function
+	// mode only.
+	KeepBlockOrder bool
+
+	// PathClone clones the blocks of reconstructed hot paths (HotPaths)
+	// into synthetic fall-through chains before Ext-TSP, biasing the
+	// layout toward keeping each hot path contiguous. Intra-function mode
+	// only.
+	PathClone bool
+
+	// HotPaths are the reconstructed hot paths PathClone consumes.
+	// Analyze/AnalyzeStream reconstruct them from the profile when nil
+	// (AnalyzeStream only when the samples are re-readable, i.e. never —
+	// stream callers must supply them); AnalyzeAggregate requires the
+	// caller to pass them, because the position-independent aggregate
+	// cannot recover path strings.
+	HotPaths PathSet
+
 	// HotThreshold is the minimum sampled count for a block to join the
 	// hot layout (default 1).
 	HotThreshold uint64
@@ -479,6 +505,17 @@ func Analyze(m *bbaddrmap.Map, prof *profile.Profile, cfg Config) (*Result, erro
 	if err := cfg.checkBuildID(prof.BuildID); err != nil {
 		return nil, err
 	}
+	if cfg.PathClone && cfg.HotPaths == nil {
+		// The path strings are not recoverable from the (cached) edge
+		// aggregate, so reconstruct them from the raw samples up front —
+		// this also folds their fingerprint into layoutPolicyKey before
+		// any cache lookup.
+		paths, err := ReconstructPaths(m, prof, PathOptions{})
+		if err != nil {
+			return nil, err
+		}
+		cfg.HotPaths = paths
+	}
 	agg, hit, err := cfg.loadAggregate(func() (*Aggregate, error) {
 		return BuildAggregate(m, prof, cfg)
 	})
@@ -596,26 +633,104 @@ func layoutOneIntra(g *dcfg, cfg Config) intraOut {
 	if len(ids) == 0 {
 		return intraOut{skip: true}
 	}
-	eg, _ := g.buildGraph(ids)
+	var samples uint64
+	for _, c := range g.counts {
+		samples += c
+	}
+	if cfg.KeepBlockOrder {
+		return intraOut{cluster: g.keepOrderCluster(ids), samples: samples}
+	}
+	eg, index := g.buildGraph(ids)
 	entryIdx := -1
 	for i, id := range ids {
 		if id == g.info.entryID {
 			entryIdx = i
 		}
 	}
-	order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: entryIdx, UseHeap: !cfg.NaiveExtTSP})
+	var cloneOf []int
+	if cfg.PathClone {
+		cloneOf = clonePaths(eg, index, cfg.HotPaths[g.info.name])
+	}
+	order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: entryIdx, UseHeap: !cfg.NaiveExtTSP, Params: cfg.ExtTSP})
 	if err != nil {
 		return intraOut{err: err}
 	}
-	cluster := make([]int, len(order))
-	for i, oi := range order {
-		cluster[i] = ids[oi]
-	}
-	var samples uint64
-	for _, c := range g.counts {
-		samples += c
+	cluster := make([]int, 0, len(ids))
+	if cloneOf == nil {
+		for _, oi := range order {
+			cluster = append(cluster, ids[oi])
+		}
+	} else {
+		// Map clone nodes back to their originals and keep each block's
+		// first occurrence: the result is a permutation of ids biased
+		// toward hot-path contiguity. ForcedFirst pins the original entry
+		// node to position 0, so the entry survives dedup in front.
+		seen := make(map[int]bool, len(ids))
+		for _, oi := range order {
+			idx := oi
+			if oi >= len(ids) {
+				idx = cloneOf[oi-len(ids)]
+			}
+			id := ids[idx]
+			if !seen[id] {
+				seen[id] = true
+				cluster = append(cluster, id)
+			}
+		}
 	}
 	return intraOut{cluster: cluster, samples: samples}
+}
+
+// keepOrderCluster emits the hot blocks in their original map order with
+// the entry first — the call-chain-first policy's "do not reorder blocks"
+// arm.
+func (g *dcfg) keepOrderCluster(ids []int) []int {
+	hot := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		hot[id] = true
+	}
+	cluster := make([]int, 0, len(ids))
+	cluster = append(cluster, g.info.entryID)
+	for _, id := range g.info.order {
+		if hot[id] && id != g.info.entryID {
+			cluster = append(cluster, id)
+		}
+	}
+	return cluster
+}
+
+// clonePaths appends one clone node per non-head path block, chained by
+// fall-through edges weighted with the path's count, so Ext-TSP scores
+// the whole path as a single contiguous run. Returns the clone→original
+// index map (clone node i is eg.Nodes[nOrig+i]); paths touching blocks
+// outside the hot graph are skipped.
+func clonePaths(eg *exttsp.Graph, index map[int]int, paths []HotPath) []int {
+	var cloneOf []int
+	for _, p := range paths {
+		if len(p.Blocks) < 2 {
+			continue
+		}
+		ok := true
+		for _, b := range p.Blocks {
+			if _, in := index[b]; !in {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		prev := index[p.Blocks[0]] // anchor the chain on the original head block
+		for _, b := range p.Blocks[1:] {
+			orig := index[b]
+			ni := len(eg.Nodes)
+			eg.Nodes = append(eg.Nodes, exttsp.Node{Size: eg.Nodes[orig].Size, Count: p.Count})
+			eg.Edges = append(eg.Edges, exttsp.Edge{Src: prev, Dst: ni, Weight: p.Count})
+			cloneOf = append(cloneOf, orig)
+			prev = ni
+		}
+	}
+	return cloneOf
 }
 
 // layoutIntra produces one hot cluster per function (intra-function
@@ -887,7 +1002,7 @@ func layoutInterProc(res *Result, graphs map[string]*dcfg, infos map[string]*fun
 	}
 	res.Stats.LayoutWorkers = w
 
-	eopts := exttsp.Options{ForcedFirst: -1, UseHeap: !cfg.NaiveExtTSP}
+	eopts := exttsp.Options{ForcedFirst: -1, UseHeap: !cfg.NaiveExtTSP, Params: cfg.ExtTSP}
 	var order []int
 	var err error
 	if w <= 1 {
