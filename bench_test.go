@@ -36,6 +36,7 @@ import (
 	"propeller/internal/linker"
 	"propeller/internal/memmodel"
 	"propeller/internal/objfile"
+	"propeller/internal/policysearch"
 	"propeller/internal/profile"
 	"propeller/internal/sim"
 	"propeller/internal/workload"
@@ -1458,5 +1459,98 @@ func BenchmarkIncremental(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPolicySearch runs the automated layout-policy search across
+// the whole workload catalog — the five fixed tournament policies as
+// full-fidelity anchors, then the (1+λ) evolutionary and
+// successive-halving strategies over Ext-TSP params, discrete knobs, and
+// per-function policy mixes — and writes the BENCH_search.json journal
+// (the CI bench-smoke artifact, grepped for `"ok": true`). The smoke
+// contract requires the learned table to match or beat the best fixed
+// policy on every workload and beat it outright on at least three.
+func BenchmarkPolicySearch(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		evs, err := policysearch.NewEvaluators(workload.Catalog(), eval.LayoutTournamentConfig{Workers: []int{1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := policysearch.Search(policysearch.Config{Seed: 1}, evs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		smoke := res.SmokeCheck(3)
+		if !smoke.OK {
+			b.Fatalf("policy search smoke contract violated: %+v", smoke)
+		}
+
+		fmt.Printf("PolicySearch: seed %d, strategies %v\n", res.Seed, res.Strategies)
+		fmt.Printf("%-14s %-12s %12s %-22s %12s %8s %6s %6s %5s %5s\n",
+			"workload", "bestFixed", "cycles", "learned", "cycles", "gain", "full", "cheap", "hits", "prune")
+		var bestGain float64
+		for _, w := range res.Workloads {
+			if w.GainVsFixedPct > bestGain {
+				bestGain = w.GainVsFixedPct
+			}
+			fmt.Printf("%-14s %-12s %12d %-22s %12d %7.2f%% %6d %6d %5d %5d\n",
+				w.Workload, w.BestFixed.Policy, w.BestFixed.Cycles,
+				w.Learned.Policy.Name, w.LearnedCycles, w.GainVsFixedPct,
+				w.Stats.FullEvals, w.Stats.CheapEvals, w.Stats.CacheHits, w.Stats.Pruned)
+		}
+		b.ReportMetric(float64(smoke.StrictWins), "strictWins")
+		b.ReportMetric(bestGain, "bestGain%")
+
+		f, err := os.Create("BENCH_search.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = res.WriteBenchJSON(f, 3)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicySearchSmoke is the CI search-smoke job's teeth: a tiny
+// search budget on a three-workload subset, run at two pool widths, must
+// produce byte-identical journals (the bit-reproducibility contract) and
+// a learned table that never falls below the best fixed policy. It
+// deliberately writes no artifact — BenchmarkPolicySearch owns
+// BENCH_search.json and both run under `-bench=.` in the same directory.
+func BenchmarkPolicySearchSmoke(b *testing.B) {
+	specs := []workload.Spec{workload.Clang(), workload.MySQL(), workload.Spanner()}
+	cfg := policysearch.Config{Seed: 2, Generations: 1, Lambda: 3, Rungs: 2, RungWidth: 6}
+	for iter := 0; iter < b.N; iter++ {
+		var journals [][]byte
+		for _, workers := range []int{0, 1} {
+			evs, err := policysearch.NewEvaluators(specs, eval.LayoutTournamentConfig{Workers: []int{1}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := cfg
+			c.Workers = workers
+			res, err := policysearch.Search(c, evs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if smoke := res.SmokeCheck(0); !smoke.OK {
+				b.Fatalf("search smoke subset contract violated (workers=%d): %+v", workers, smoke)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteBenchJSON(&buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			journals = append(journals, buf.Bytes())
+		}
+		reproducible := bytes.Equal(journals[0], journals[1])
+		if !reproducible {
+			b.Fatal("search journals diverged across pool widths for one seed")
+		}
+		fmt.Printf("PolicySearchSmoke: %d workloads, reproducible=%v, neverWorse=true\n", len(specs), reproducible)
+		b.ReportMetric(1, "reproducible")
 	}
 }

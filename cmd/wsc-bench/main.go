@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"propeller/internal/eval"
+	"propeller/internal/policysearch"
 	"propeller/internal/pprofutil"
 	"propeller/internal/workload"
 )
@@ -39,6 +40,8 @@ func main() {
 		incr         = flag.Bool("incr", false, "incremental edit-replay sweep (edit fraction x WPA workers, cold vs warm caches), writes BENCH_incr.json")
 		layout       = flag.Bool("layout", false, "layout-policy tournament across the workload catalog, writes BENCH_layout.json")
 		layoutPolicy = flag.String("layout-policy", "", "comma-separated subset of policies for -layout (default: all of "+defaultPolicyNames()+")")
+		search       = flag.Bool("search", false, "automated layout-policy search across the workload catalog, writes BENCH_search.json (see wsc-search for the full CLI)")
+		searchSeed   = flag.Int64("search-seed", 1, "policy-search seed (with -search)")
 	)
 	prof := pprofutil.Register()
 	flag.Parse()
@@ -58,6 +61,10 @@ func main() {
 	}
 	if *layout {
 		runLayoutTournament(*set, *layoutPolicy)
+		return
+	}
+	if *search {
+		runPolicySearch(*set, *searchSeed)
 		return
 	}
 	if !*all && *table == 0 && *fig == 0 && !*spec {
@@ -260,6 +267,56 @@ func runLayoutTournament(set, policyList string) {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "wsc-bench: wrote BENCH_layout.json")
+}
+
+// runPolicySearch regenerates the learned-policy study (the
+// BenchmarkPolicySearch artifact): the automated search racing against
+// the fixed tournament field, per workload. wsc-search is the
+// full-featured CLI; this arm exists so the whole bench-smoke artifact
+// set regenerates from one binary.
+func runPolicySearch(set string, seed int64) {
+	specs := pickSet(set)
+	fmt.Fprintf(os.Stderr, "wsc-bench: layout-policy search over %d workload(s), seed %d...\n", len(specs), seed)
+	evs, err := policysearch.NewEvaluators(specs, eval.LayoutTournamentConfig{Workers: []int{1}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: policy search: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := policysearch.Search(policysearch.Config{Seed: seed}, evs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: policy search: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-14s %-12s %12s %-22s %12s %8s\n",
+		"workload", "bestFixed", "cycles", "learned", "cycles", "gain")
+	for _, w := range res.Workloads {
+		fmt.Printf("%-14s %-12s %12d %-22s %12d %7.2f%%\n",
+			w.Workload, w.BestFixed.Policy, w.BestFixed.Cycles,
+			w.Learned.Policy.Name, w.LearnedCycles, w.GainVsFixedPct)
+	}
+	minWins := 0
+	if set == "all" {
+		minWins = 3
+	}
+	smoke := res.SmokeCheck(minWins)
+	if !smoke.OK {
+		fmt.Fprintf(os.Stderr, "wsc-bench: search smoke contract violated: %+v\n", smoke)
+		os.Exit(1)
+	}
+	f, err := os.Create("BENCH_search.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	err = res.WriteBenchJSON(f, minWins)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wsc-bench: wrote BENCH_search.json")
 }
 
 func pickSet(set string) []workload.Spec {

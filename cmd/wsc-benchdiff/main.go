@@ -37,6 +37,7 @@ var defaultArtifacts = []string{
 	"BENCH_profsvc.json",
 	"BENCH_incr.json",
 	"BENCH_layout.json",
+	"BENCH_search.json",
 }
 
 // tolerances maps a metric-path substring to an allowed relative drift.

@@ -36,6 +36,7 @@ import (
 	"propeller/internal/layoutfile"
 	"propeller/internal/memmodel"
 	"propeller/internal/objfile"
+	"propeller/internal/policysearch"
 	"propeller/internal/pprofutil"
 	"propeller/internal/sim"
 	"propeller/internal/workload"
@@ -61,6 +62,7 @@ func main() {
 		warm       = flag.Bool("warm", false, "edit-replay mode: re-run analysis+relink of a replayed -edit-frac edit against warm content-keyed caches (requires -workload)")
 		editFrac   = flag.Float64("edit-frac", 0.01, "fraction of functions the replayed edit touches (with -warm)")
 		layoutPol  = flag.String("layout-policy", "", "named layout policy from the tournament field: "+policyNames()+" (default: exttsp)")
+		layoutTab  = flag.String("layout-table", "", "learned per-workload/per-function policy table (the wsc-search output format)")
 	)
 	prof := pprofutil.Register()
 	flag.Parse()
@@ -91,6 +93,22 @@ func main() {
 		opts.WPA.PathClone = pol.PathClone
 		opts.WPA.ExtTSP = pol.Params
 		fmt.Printf("propeller: layout policy %s\n", pol.Name)
+	}
+	if *layoutTab != "" {
+		if *layoutPol != "" {
+			fatalf("-layout-table and -layout-policy are mutually exclusive")
+		}
+		pol, err := lookupTablePolicy(*layoutTab, prog.Name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.InterProc = opts.InterProc || pol.InterProc
+		opts.WPA.KeepBlockOrder = pol.KeepBlockOrder
+		opts.WPA.PathClone = pol.PathClone
+		opts.WPA.ExtTSP = pol.Params
+		opts.WPA.FuncPolicies = pol.FuncPolicies
+		fmt.Printf("propeller: learned layout policy %s for %s (%d per-function overrides)\n",
+			pol.Name, prog.Name, len(pol.FuncPolicies))
 	}
 	if *fleetHosts > 0 {
 		opts.Fleet = &core.FleetOptions{
@@ -232,6 +250,31 @@ func runWarmReplay(wl string, editFrac float64, workers int) {
 	if !c.IdenticalArtifacts || !c.IdenticalBinary {
 		fatalf("warm outputs diverged from cold")
 	}
+}
+
+// lookupTablePolicy resolves the program's learned policy from a
+// wsc-search -table file.
+func lookupTablePolicy(path, name string) (eval.LayoutPolicy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return eval.LayoutPolicy{}, err
+	}
+	defer f.Close()
+	table, err := policysearch.ReadTable(f)
+	if err != nil {
+		return eval.LayoutPolicy{}, err
+	}
+	pol, ok := table.For(name)
+	if !ok {
+		var have []string
+		for wl := range table.Workloads {
+			have = append(have, wl)
+		}
+		sort.Strings(have)
+		return eval.LayoutPolicy{}, fmt.Errorf("layout table %s has no entry for workload %q (have: %s)",
+			path, name, strings.Join(have, ", "))
+	}
+	return pol, nil
 }
 
 // policyNames lists the tournament's default policy field for flag help

@@ -10,6 +10,7 @@ package eval
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -32,6 +33,12 @@ type LayoutPolicy struct {
 	KeepBlockOrder bool          `json:"keepBlockOrder,omitempty"`
 	PathClone      bool          `json:"pathClone,omitempty"`
 	Params         exttsp.Params `json:"params,omitempty"`
+
+	// FuncPolicies mixes per-function overrides into the base policy:
+	// each named hot function gets its own knobs while every other
+	// function keeps the fields above. This is the shape the automated
+	// policy search emits (internal/policysearch).
+	FuncPolicies map[string]wpa.FuncPolicy `json:"funcPolicies,omitempty"`
 }
 
 // DefaultLayoutPolicies is the tournament's standing field: the paper
@@ -64,6 +71,20 @@ func PolicyByName(name string) (LayoutPolicy, bool) {
 	return LayoutPolicy{}, false
 }
 
+// needsPaths reports whether any part of the policy (base or per-func
+// override) consumes reconstructed hot paths.
+func (p LayoutPolicy) needsPaths() bool {
+	if p.PathClone {
+		return true
+	}
+	for _, fp := range p.FuncPolicies {
+		if fp.PathClone {
+			return true
+		}
+	}
+	return false
+}
+
 // wpaConfig maps the policy onto the analyzer configuration.
 func (p LayoutPolicy) wpaConfig(workers int, paths wpa.PathSet) wpa.Config {
 	cfg := wpa.Config{
@@ -71,9 +92,10 @@ func (p LayoutPolicy) wpaConfig(workers int, paths wpa.PathSet) wpa.Config {
 		KeepBlockOrder: p.KeepBlockOrder,
 		PathClone:      p.PathClone,
 		ExtTSP:         p.Params,
+		FuncPolicies:   p.FuncPolicies,
 		Workers:        workers,
 	}
-	if p.PathClone {
+	if p.needsPaths() {
 		cfg.HotPaths = paths
 	}
 	return cfg
@@ -182,8 +204,11 @@ type LayoutCell struct {
 	IdenticalAcrossWorkers bool `json:"identicalAcrossWorkers"`
 
 	// AnalysisSeconds is measured wall time; the "measured" prefix in the
-	// JSON key exempts it from the bench-regression gate.
-	AnalysisSeconds float64 `json:"measuredAnalysisSeconds"`
+	// JSON key exempts it from the bench-regression gate, as does the
+	// cache-hit count below (it depends on evaluation order when a search
+	// evaluates candidates in parallel against one shared cache).
+	AnalysisSeconds     float64 `json:"measuredAnalysisSeconds"`
+	FuncLayoutCacheHits int     `json:"measuredFuncLayoutCacheHits,omitempty"`
 }
 
 // LayoutLeader is one workload's winner row.
@@ -285,17 +310,189 @@ func runLayoutBinary(bin *objfile.Binary, maxInsts uint64) (*sim.Result, error) 
 	return mach.Run(sim.Config{MaxInsts: maxInsts})
 }
 
+// LayoutEval is one workload's prepared evaluation state: the metadata
+// build, training profile, position-independent aggregate, reconstructed
+// hot paths, cached IR, and the measured unoptimized baseline — everything
+// a policy evaluation shares, amortized once. It is the reusable fitness
+// function behind both the tournament and the automated policy search:
+// Evaluate maps any LayoutPolicy (including per-function mixes) to a
+// LayoutCell deterministically.
+type LayoutEval struct {
+	spec    workload.Spec
+	cfg     LayoutTournamentConfig
+	prog    *workload.Program
+	opts    core.Options
+	m       *bbaddrmap.Map
+	agg     *wpa.Aggregate
+	paths   wpa.PathSet
+	irKeys  []string
+	baseRun *sim.Result
+
+	// Optional incremental-cache wiring (UseCache): per-func layouts are
+	// then keyed by wpa's funcPolicyKey machinery, so a re-search against
+	// the same profile reuses every unchanged function's layout.
+	cache *buildsys.Cache
+	epoch string
+}
+
+// NewLayoutEval prepares the shared state for one workload under cfg
+// (only the fidelity/worker knobs of cfg apply; Specs/Policies are the
+// tournament's business).
+func NewLayoutEval(spec workload.Spec, cfg LayoutTournamentConfig) (*LayoutEval, error) {
+	return newLayoutEval(spec, cfg, &buildsys.Executor{Slots: cfg.slots()})
+}
+
+func newLayoutEval(spec workload.Spec, cfg LayoutTournamentConfig, exec *buildsys.Executor) (*LayoutEval, error) {
+	prog, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		Executor:  exec,
+		HugePages: spec.HugePages,
+		IRCache:   buildsys.NewCache(),
+		ObjCache:  buildsys.NewCache(),
+	}
+	meta, err := core.BuildWithMetadata(prog.Core, opts)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: metadata build: %w", spec.Name, err)
+	}
+	train := core.RunSpec{MaxInsts: cfg.trainInsts(), LBRPeriod: cfg.lbrPeriod()}
+	prof, _, err := core.CollectProfile(meta.Binary, train, false)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: profile: %w", spec.Name, err)
+	}
+	m, err := bbaddrmap.Decode(meta.Binary.BBAddrMap)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := wpa.BuildAggregate(m, prof, wpa.Config{})
+	if err != nil {
+		return nil, err
+	}
+	paths, err := wpa.ReconstructPaths(m, prof, wpa.PathOptions{})
+	if err != nil {
+		return nil, err
+	}
+	irKeys := core.Phase1CacheIR(prog.Core, opts.IRCache)
+
+	base, err := core.BuildBaseline(prog.Core, opts)
+	if err != nil {
+		return nil, err
+	}
+	baseRun, err := runLayoutBinary(base.Binary, cfg.evalInsts())
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: baseline run: %w", spec.Name, err)
+	}
+	return &LayoutEval{
+		spec: spec, cfg: cfg, prog: prog, opts: opts,
+		m: m, agg: agg, paths: paths, irKeys: irKeys, baseRun: baseRun,
+	}, nil
+}
+
+// UseCache wires an incremental cache (shared across evaluations) into
+// every subsequent analysis under the given profile epoch.
+func (e *LayoutEval) UseCache(cache *buildsys.Cache, epoch string) {
+	e.cache, e.epoch = cache, epoch
+}
+
+// BaselineCycles is the unoptimized binary's modeled cycle count, the
+// denominator of every SpeedupPct.
+func (e *LayoutEval) BaselineCycles() uint64 { return e.baseRun.Cycles }
+
+// FullInsts is the full-fidelity measurement budget; cheap-fidelity
+// probes pass a fraction of it to EvaluateInsts.
+func (e *LayoutEval) FullInsts() uint64 { return e.cfg.evalInsts() }
+
+// HotFuncs returns the n hottest profiled functions — the candidates
+// worth a per-function policy override.
+func (e *LayoutEval) HotFuncs(n int) []string { return e.agg.HotFuncs(n) }
+
+// Evaluate runs one policy at full fidelity.
+func (e *LayoutEval) Evaluate(pol LayoutPolicy) (LayoutCell, error) {
+	return e.EvaluateInsts(pol, e.cfg.evalInsts())
+}
+
+// EvaluateInsts analyzes, relinks, and measures one policy with the given
+// instruction budget. The analysis replays at every configured worker
+// count and the artifacts are byte-compared; the relinked binary then
+// runs on the uarch model for at most insts instructions. Everything in
+// the returned cell except the measured* fields is a deterministic
+// function of (workload, policy, insts).
+func (e *LayoutEval) EvaluateInsts(pol LayoutPolicy, insts uint64) (LayoutCell, error) {
+	cell := LayoutCell{Workload: e.spec.Name, Policy: pol.Name, IdenticalAcrossWorkers: true}
+	if pol.needsPaths() {
+		cell.HotPathFuncs = len(e.paths)
+	}
+
+	// Replay the analysis at every worker count; all artifact pairs must
+	// byte-match the first.
+	var res *wpa.Result
+	var firstCC, firstLD []byte
+	start := time.Now()
+	for wi, w := range e.cfg.workers() {
+		wcfg := pol.wpaConfig(w, e.paths)
+		if e.cache != nil {
+			wcfg.Cache, wcfg.ProfileEpoch = e.cache, e.epoch
+		}
+		r, err := wpa.AnalyzeAggregate(e.m, e.agg, wcfg)
+		if err != nil {
+			return cell, fmt.Errorf("eval %s/%s: analyze (workers=%d): %w", e.spec.Name, pol.Name, w, err)
+		}
+		cc, ld, err := artifactPair(r)
+		if err != nil {
+			return cell, err
+		}
+		if wi == 0 {
+			res, firstCC, firstLD = r, cc, ld
+		} else if !bytes.Equal(cc, firstCC) || !bytes.Equal(ld, firstLD) {
+			cell.IdenticalAcrossWorkers = false
+		}
+		cell.FuncLayoutCacheHits += r.Stats.FuncLayoutHits
+	}
+	cell.AnalysisSeconds = time.Since(start).Seconds()
+	cell.HotFuncs = res.Stats.HotFuncs
+
+	build, _, _, err := core.Relink(e.prog.Core, e.irKeys, res, e.opts)
+	if err != nil {
+		return cell, fmt.Errorf("eval %s/%s: relink: %w", e.spec.Name, pol.Name, err)
+	}
+	run, err := runLayoutBinary(build.Binary, insts)
+	if err != nil {
+		// A cheap-fidelity probe (insts below the full budget) is meant to
+		// truncate: exhausting the instruction budget is the measurement,
+		// and the cycles recorded at the cut are the sample-subset
+		// fitness. Every other fault — and any fault at full fidelity —
+		// is a real failure.
+		var re *sim.RunError
+		if !(insts < e.cfg.evalInsts() && errors.As(err, &re) && re.Inst >= insts) {
+			return cell, fmt.Errorf("eval %s/%s: run: %w", e.spec.Name, pol.Name, err)
+		}
+	}
+	// The layout must never change program semantics; the checksum check
+	// only holds at full fidelity (a truncated run exits mid-program).
+	if insts == e.cfg.evalInsts() && run.Exit != e.baseRun.Exit {
+		return cell, fmt.Errorf("eval %s/%s: layout changed the checksum: %d vs %d",
+			e.spec.Name, pol.Name, run.Exit, e.baseRun.Exit)
+	}
+	cell.Cycles = run.Cycles
+	cell.Insts = run.Insts
+	cell.L1IMiss = run.Counters.L1IMiss
+	cell.ITLBMiss = run.Counters.ITLBMiss
+	cell.TakenBranches = run.Counters.TakenBranch
+	if e.baseRun.Cycles > 0 && insts == e.cfg.evalInsts() {
+		cell.SpeedupPct = 100 * (1 - float64(run.Cycles)/float64(e.baseRun.Cycles))
+	}
+	return cell, nil
+}
+
 // LayoutTournament races every policy on every workload. Per workload it
-// builds the metadata binary once, collects one profile, builds the
-// position-independent aggregate and the reconstructed hot paths once,
-// and then per policy: replays the analysis at every configured worker
-// count (byte-comparing the artifacts), relinks with the first count's
-// result, and measures the optimized binary on the simulator. The
-// emitted leaderboard is deterministic at every worker count — only the
-// measured* wall-clock fields vary run to run.
+// prepares a LayoutEval once (metadata build, one profile, aggregate,
+// hot paths, measured baseline) and then evaluates every policy against
+// it. The emitted leaderboard is deterministic at every worker count —
+// only the measured* wall-clock fields vary run to run.
 func LayoutTournament(cfg LayoutTournamentConfig) (*LayoutTournamentResult, error) {
 	exec := &buildsys.Executor{Slots: cfg.slots()}
-	train := core.RunSpec{MaxInsts: cfg.trainInsts(), LBRPeriod: cfg.lbrPeriod()}
 	out := &LayoutTournamentResult{
 		Policies:       cfg.policies(),
 		Workers:        cfg.workers(),
@@ -303,104 +500,24 @@ func LayoutTournament(cfg LayoutTournamentConfig) (*LayoutTournamentResult, erro
 	}
 
 	for _, spec := range cfg.specs() {
-		prog, err := workload.Generate(spec)
+		ev, err := newLayoutEval(spec, cfg, exec)
 		if err != nil {
 			return nil, err
 		}
-		opts := core.Options{
-			Executor:  exec,
-			HugePages: spec.HugePages,
-			IRCache:   buildsys.NewCache(),
-			ObjCache:  buildsys.NewCache(),
-		}
-		meta, err := core.BuildWithMetadata(prog.Core, opts)
-		if err != nil {
-			return nil, fmt.Errorf("eval %s: metadata build: %w", spec.Name, err)
-		}
-		prof, _, err := core.CollectProfile(meta.Binary, train, false)
-		if err != nil {
-			return nil, fmt.Errorf("eval %s: profile: %w", spec.Name, err)
-		}
-		m, err := bbaddrmap.Decode(meta.Binary.BBAddrMap)
-		if err != nil {
-			return nil, err
-		}
-		agg, err := wpa.BuildAggregate(m, prof, wpa.Config{})
-		if err != nil {
-			return nil, err
-		}
-		paths, err := wpa.ReconstructPaths(m, prof, wpa.PathOptions{})
-		if err != nil {
-			return nil, err
-		}
-		irKeys := core.Phase1CacheIR(prog.Core, opts.IRCache)
-
-		base, err := core.BuildBaseline(prog.Core, opts)
-		if err != nil {
-			return nil, err
-		}
-		baseRun, err := runLayoutBinary(base.Binary, cfg.evalInsts())
-		if err != nil {
-			return nil, fmt.Errorf("eval %s: baseline run: %w", spec.Name, err)
-		}
-		out.BaselineCycles[spec.Name] = baseRun.Cycles
+		out.BaselineCycles[spec.Name] = ev.BaselineCycles()
 
 		var defaultCycles uint64
 		var winner LayoutLeader
 		for _, pol := range cfg.policies() {
-			cell := LayoutCell{Workload: spec.Name, Policy: pol.Name, IdenticalAcrossWorkers: true}
-			if pol.PathClone {
-				cell.HotPathFuncs = len(paths)
-			}
-
-			// Replay the analysis at every worker count; all artifact
-			// pairs must byte-match the first.
-			var res *wpa.Result
-			var firstCC, firstLD []byte
-			start := time.Now()
-			for wi, w := range cfg.workers() {
-				r, err := wpa.AnalyzeAggregate(m, agg, pol.wpaConfig(w, paths))
-				if err != nil {
-					return nil, fmt.Errorf("eval %s/%s: analyze (workers=%d): %w", spec.Name, pol.Name, w, err)
-				}
-				cc, ld, err := artifactPair(r)
-				if err != nil {
-					return nil, err
-				}
-				if wi == 0 {
-					res, firstCC, firstLD = r, cc, ld
-				} else if !bytes.Equal(cc, firstCC) || !bytes.Equal(ld, firstLD) {
-					cell.IdenticalAcrossWorkers = false
-				}
-			}
-			cell.AnalysisSeconds = time.Since(start).Seconds()
-			cell.HotFuncs = res.Stats.HotFuncs
-
-			build, _, _, err := core.Relink(prog.Core, irKeys, res, opts)
+			cell, err := ev.Evaluate(pol)
 			if err != nil {
-				return nil, fmt.Errorf("eval %s/%s: relink: %w", spec.Name, pol.Name, err)
-			}
-			run, err := runLayoutBinary(build.Binary, cfg.evalInsts())
-			if err != nil {
-				return nil, fmt.Errorf("eval %s/%s: run: %w", spec.Name, pol.Name, err)
-			}
-			if run.Exit != baseRun.Exit {
-				return nil, fmt.Errorf("eval %s/%s: layout changed the checksum: %d vs %d",
-					spec.Name, pol.Name, run.Exit, baseRun.Exit)
-			}
-			cell.Cycles = run.Cycles
-			cell.Insts = run.Insts
-			cell.L1IMiss = run.Counters.L1IMiss
-			cell.ITLBMiss = run.Counters.ITLBMiss
-			cell.TakenBranches = run.Counters.TakenBranch
-			if baseRun.Cycles > 0 {
-				cell.SpeedupPct = 100 * (1 - float64(run.Cycles)/float64(baseRun.Cycles))
+				return nil, err
 			}
 			if pol.Name == "exttsp" {
-				defaultCycles = run.Cycles
+				defaultCycles = cell.Cycles
 			}
-			if winner.Policy == "" || run.Cycles < winner.Cycles {
-				winner = LayoutLeader{Workload: spec.Name, Policy: pol.Name, Cycles: run.Cycles}
+			if winner.Policy == "" || cell.Cycles < winner.Cycles {
+				winner = LayoutLeader{Workload: spec.Name, Policy: pol.Name, Cycles: cell.Cycles}
 			}
 			out.Cells = append(out.Cells, cell)
 		}

@@ -1,0 +1,102 @@
+// Params sampling, mutation, and clamping for the automated layout-policy
+// search (internal/policysearch). The search needs three deterministic
+// primitives over the scoring-parameter space: draw a random point, take a
+// bounded mutation step from an existing point, and clamp any candidate
+// into the region where Ext-TSP scoring stays well-conditioned. All
+// randomness comes from the caller's seeded *rand.Rand, so a fixed seed
+// reproduces the exact candidate sequence on any machine.
+package exttsp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Search bounds: the box the automated policy search explores. Weights
+// are searched log-uniformly (their effect is multiplicative), windows
+// over the byte ranges where the decay profile still discriminates
+// between nearby and faraway placements on realistic function sizes.
+const (
+	MinWeight = 0.001
+	MaxWeight = 4.0
+	MinWindow = 64
+	MaxWindow = 16384
+)
+
+// Clamp resolves p (zero fields become the paper defaults) and clamps
+// every field into the search bounds. Search drivers call it after every
+// mutation so no candidate can leave the well-conditioned region (e.g. a
+// zero or negative weight, or a window too small to ever match).
+func (p Params) Clamp() Params {
+	p = p.normalize()
+	clampF := func(v float64) float64 {
+		if v < MinWeight {
+			return MinWeight
+		}
+		if v > MaxWeight {
+			return MaxWeight
+		}
+		return v
+	}
+	clampW := func(v int64) int64 {
+		if v < MinWindow {
+			return MinWindow
+		}
+		if v > MaxWindow {
+			return MaxWindow
+		}
+		return v
+	}
+	p.FallthroughWeight = clampF(p.FallthroughWeight)
+	p.ForwardWeight = clampF(p.ForwardWeight)
+	p.BackwardWeight = clampF(p.BackwardWeight)
+	p.ForwardWindow = clampW(p.ForwardWindow)
+	p.BackwardWindow = clampW(p.BackwardWindow)
+	return p
+}
+
+// logUniform draws from [lo, hi] with log-uniform density: a multiplicative
+// parameter is as likely to land in [x, 2x] anywhere in the range.
+func logUniform(r *rand.Rand, lo, hi float64) float64 {
+	return lo * math.Pow(hi/lo, r.Float64())
+}
+
+// SampleParams draws a uniformly random parameterization from the search
+// bounds (log-uniform weights, geometric windows). The fallthrough weight
+// is sampled from a narrower band around its default: it is the score's
+// scale factor, and letting it collapse toward MinWeight just rescales
+// every candidate identically.
+func SampleParams(r *rand.Rand) Params {
+	return Params{
+		FallthroughWeight: logUniform(r, 0.5, 2.0),
+		ForwardWeight:     logUniform(r, 0.01, 1.0),
+		BackwardWeight:    logUniform(r, 0.005, 0.5),
+		ForwardWindow:     sampleWindow(r),
+		BackwardWindow:    sampleWindow(r),
+	}.Clamp()
+}
+
+func sampleWindow(r *rand.Rand) int64 {
+	return int64(logUniform(r, 128, 8192))
+}
+
+// MutateParams perturbs exactly one field of p by a bounded multiplicative
+// step (×[1/2, 2], log-uniform) and clamps the result — the unit move of
+// the evolutionary search driver.
+func MutateParams(p Params, r *rand.Rand) Params {
+	p = p.normalize()
+	step := logUniform(r, 0.5, 2.0)
+	switch r.Intn(5) {
+	case 0:
+		p.FallthroughWeight *= step
+	case 1:
+		p.ForwardWeight *= step
+	case 2:
+		p.BackwardWeight *= step
+	case 3:
+		p.ForwardWindow = int64(float64(p.ForwardWindow) * step)
+	case 4:
+		p.BackwardWindow = int64(float64(p.BackwardWindow) * step)
+	}
+	return p.Clamp()
+}

@@ -1,0 +1,67 @@
+package policysearch
+
+import (
+	"bytes"
+	"testing"
+
+	"propeller/internal/eval"
+	"propeller/internal/workload"
+)
+
+func tinySearchConfig(workers int) Config {
+	return Config{
+		Seed:        11,
+		Workers:     workers,
+		Generations: 1,
+		Lambda:      2,
+		Rungs:       2,
+		RungWidth:   4,
+		MixFuncs:    2,
+	}
+}
+
+func tinyEvaluators(t *testing.T) []WorkloadEvaluator {
+	t.Helper()
+	evs, err := NewEvaluators([]workload.Spec{workload.Tiny()}, eval.LayoutTournamentConfig{
+		TrainInsts: 20_000_000,
+		EvalInsts:  10_000_000,
+		Workers:    []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestSearchTinyDeterministic drives the real pipeline — generate,
+// profile, analyze, relink, simulate — through a small search budget at
+// several pool widths: the journal (and with it the learned table) must
+// be byte-identical, and the structural never-worse contract must hold
+// against the genuinely-measured fixed policies.
+func TestSearchTinyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline search in -short mode")
+	}
+	var firstJSON []byte
+	for _, workers := range []int{1, 4} {
+		res, err := Search(tinySearchConfig(workers), tinyEvaluators(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		smoke := res.SmokeCheck(0)
+		if !smoke.NeverWorse {
+			t.Errorf("workers=%d: learned policy worse than best fixed", workers)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteBenchJSON(&buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			firstJSON = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), firstJSON) {
+			t.Errorf("workers=%d: BENCH_search.json diverged from workers=1", workers)
+		}
+	}
+}

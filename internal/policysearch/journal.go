@@ -1,0 +1,399 @@
+// The search journal: a binary candidate codec (the unit the memo and
+// the fuzz harness exercise), per-workload statistics with the
+// best-so-far trajectory, the learned policy table, and the
+// BENCH_search.json artifact. Everything serialized here is a
+// deterministic function of (seed, workloads) — there are no measured
+// wall-clock fields — so the artifact is byte-identical at every worker
+// count and wsc-benchdiff compares it exactly.
+package policysearch
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"propeller/internal/eval"
+	"propeller/internal/exttsp"
+	"propeller/internal/wpa"
+)
+
+// Candidate codec. The canonical binary form keys the evaluation memo
+// (structurally equal policies share one entry regardless of how a
+// strategy spelled them) and feeds Fingerprint. Canonical means: fields
+// in fixed order, overrides sorted by function name, floats as IEEE
+// bits, and no trailing bytes — encode(decode(b)) is a fixed point.
+const candidateMagic = "WPC1"
+
+const (
+	flagInterProc = 1 << iota
+	flagKeepOrder
+	flagPathClone
+)
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendParams(buf []byte, p exttsp.Params) []byte {
+	for _, f := range []float64{p.FallthroughWeight, p.ForwardWeight, p.BackwardWeight} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.AppendVarint(buf, p.ForwardWindow)
+	return binary.AppendVarint(buf, p.BackwardWindow)
+}
+
+func encodePolicy(p eval.LayoutPolicy) []byte {
+	buf := appendString(nil, p.Name)
+	var flags byte
+	if p.InterProc {
+		flags |= flagInterProc
+	}
+	if p.KeepBlockOrder {
+		flags |= flagKeepOrder
+	}
+	if p.PathClone {
+		flags |= flagPathClone
+	}
+	buf = append(buf, flags)
+	buf = appendParams(buf, p.Params)
+	buf = binary.AppendUvarint(buf, uint64(len(p.FuncPolicies)))
+	for _, fn := range sortedOverrideKeys(p.FuncPolicies) {
+		fp := p.FuncPolicies[fn]
+		buf = appendString(buf, fn)
+		var ff byte
+		if fp.KeepBlockOrder {
+			ff |= flagKeepOrder
+		}
+		if fp.PathClone {
+			ff |= flagPathClone
+		}
+		buf = append(buf, ff)
+		buf = appendParams(buf, fp.ExtTSP)
+	}
+	return buf
+}
+
+// EncodeCandidate serializes c in the canonical journal form.
+func EncodeCandidate(c Candidate) []byte {
+	buf := append([]byte(nil), candidateMagic...)
+	buf = appendString(buf, c.Origin)
+	return append(buf, encodePolicy(c.Policy)...)
+}
+
+type candDec struct {
+	data []byte
+	off  int
+}
+
+func (d *candDec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("policysearch: candidate codec: bad uvarint at %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *candDec) varint() (int64, error) {
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("policysearch: candidate codec: bad varint at %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *candDec) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.data)-d.off) {
+		return "", fmt.Errorf("policysearch: candidate codec: string of %d bytes overruns buffer", n)
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *candDec) byte() (byte, error) {
+	if d.off >= len(d.data) {
+		return 0, fmt.Errorf("policysearch: candidate codec: truncated")
+	}
+	b := d.data[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *candDec) params() (exttsp.Params, error) {
+	var p exttsp.Params
+	for _, dst := range []*float64{&p.FallthroughWeight, &p.ForwardWeight, &p.BackwardWeight} {
+		if len(d.data)-d.off < 8 {
+			return p, fmt.Errorf("policysearch: candidate codec: truncated float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.off:]))
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return p, fmt.Errorf("policysearch: candidate codec: non-finite weight")
+		}
+		*dst = f
+		d.off += 8
+	}
+	var err error
+	if p.ForwardWindow, err = d.varint(); err != nil {
+		return p, err
+	}
+	if p.BackwardWindow, err = d.varint(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// DecodeCandidate parses the canonical journal form; it rejects bad
+// magic, unsorted or duplicate overrides, non-finite weights, and
+// trailing bytes.
+func DecodeCandidate(data []byte) (Candidate, error) {
+	var c Candidate
+	if len(data) < len(candidateMagic) || string(data[:len(candidateMagic)]) != candidateMagic {
+		return c, fmt.Errorf("policysearch: candidate codec: bad magic")
+	}
+	d := &candDec{data: data, off: len(candidateMagic)}
+	var err error
+	if c.Origin, err = d.str(); err != nil {
+		return c, err
+	}
+	if c.Policy.Name, err = d.str(); err != nil {
+		return c, err
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return c, err
+	}
+	if flags&^(flagInterProc|flagKeepOrder|flagPathClone) != 0 {
+		return c, fmt.Errorf("policysearch: candidate codec: unknown flag bits %#x", flags)
+	}
+	c.Policy.InterProc = flags&flagInterProc != 0
+	c.Policy.KeepBlockOrder = flags&flagKeepOrder != 0
+	c.Policy.PathClone = flags&flagPathClone != 0
+	if c.Policy.Params, err = d.params(); err != nil {
+		return c, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return c, err
+	}
+	if n > uint64(len(data)) { // cheap bound: each override needs >1 byte
+		return c, fmt.Errorf("policysearch: candidate codec: override count %d overruns buffer", n)
+	}
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		fn, err := d.str()
+		if err != nil {
+			return c, err
+		}
+		if i > 0 && fn <= prev {
+			return c, fmt.Errorf("policysearch: candidate codec: overrides not sorted-unique (%q after %q)", fn, prev)
+		}
+		prev = fn
+		ff, err := d.byte()
+		if err != nil {
+			return c, err
+		}
+		if ff&^(flagKeepOrder|flagPathClone) != 0 {
+			return c, fmt.Errorf("policysearch: candidate codec: unknown override flag bits %#x", ff)
+		}
+		var fp wpa.FuncPolicy
+		fp.KeepBlockOrder = ff&flagKeepOrder != 0
+		fp.PathClone = ff&flagPathClone != 0
+		if fp.ExtTSP, err = d.params(); err != nil {
+			return c, err
+		}
+		if c.Policy.FuncPolicies == nil {
+			c.Policy.FuncPolicies = map[string]wpa.FuncPolicy{}
+		}
+		c.Policy.FuncPolicies[fn] = fp
+	}
+	if d.off != len(data) {
+		return c, fmt.Errorf("policysearch: candidate codec: %d trailing bytes", len(data)-d.off)
+	}
+	return c, nil
+}
+
+// TrajectoryPoint is one best-so-far improvement: after Eval committed
+// evaluations (full + cheap), Policy became the champion.
+type TrajectoryPoint struct {
+	Eval   int    `json:"eval"`
+	Policy string `json:"policy"`
+	Origin string `json:"origin"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// SearchStats is one workload's search accounting. Every field is
+// deterministic: CacheHits counts memo hits (a strategy re-proposing an
+// evaluated candidate), not scheduling-dependent wpa cache traffic.
+type SearchStats struct {
+	Generations int               `json:"generations"`
+	FullEvals   int               `json:"fullEvals"`
+	CheapEvals  int               `json:"cheapEvals"`
+	CacheHits   int               `json:"cacheHits"`
+	Pruned      int               `json:"pruned"`
+	Trajectory  []TrajectoryPoint `json:"trajectory"`
+}
+
+// FixedBest names the tournament-style winner the learned policy is
+// judged against.
+type FixedBest struct {
+	Policy string `json:"policy"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// WorkloadResult is one workload's journal entry.
+type WorkloadResult struct {
+	Workload       string    `json:"workload"`
+	BaselineCycles uint64    `json:"baselineCycles"`
+	BestFixed      FixedBest `json:"bestFixed"`
+	Learned        Candidate `json:"learned"`
+	LearnedCycles  uint64    `json:"learnedCycles"`
+	// GainVsFixedPct is the learned policy's cycle advantage over the
+	// best fixed policy (0 = tied with it; the search never regresses it).
+	GainVsFixedPct float64 `json:"gainVsFixedPct"`
+	// SpeedupPct is the learned policy's improvement over the
+	// unoptimized baseline binary.
+	SpeedupPct float64     `json:"speedupPct"`
+	Stats      SearchStats `json:"stats"`
+}
+
+// Result is the whole search journal.
+type Result struct {
+	Seed       int64            `json:"seed"`
+	Strategies []string         `json:"strategies"`
+	Workloads  []WorkloadResult `json:"workloads"`
+}
+
+// Smoke is the search's CI contract.
+type Smoke struct {
+	Workloads int `json:"workloads"`
+	// NeverWorse: on every workload the learned policy's cycles are <=
+	// the best fixed policy's (guaranteed by construction; asserting it
+	// catches a future regression of that construction).
+	NeverWorse bool `json:"neverWorse"`
+	// StrictWins counts workloads where the learned policy beats the
+	// best fixed policy outright.
+	StrictWins    int  `json:"strictWins"`
+	MinStrictWins int  `json:"minStrictWins"`
+	OK            bool `json:"ok"`
+}
+
+// SmokeCheck evaluates the contract: never worse than the best fixed
+// policy anywhere, strictly better on at least minStrictWins workloads.
+func (r *Result) SmokeCheck(minStrictWins int) Smoke {
+	s := Smoke{Workloads: len(r.Workloads), NeverWorse: true, MinStrictWins: minStrictWins}
+	for _, w := range r.Workloads {
+		if w.LearnedCycles > w.BestFixed.Cycles {
+			s.NeverWorse = false
+		}
+		if w.LearnedCycles < w.BestFixed.Cycles {
+			s.StrictWins++
+		}
+	}
+	s.OK = s.NeverWorse && s.StrictWins >= minStrictWins && s.Workloads > 0
+	return s
+}
+
+// PolicyTable is the learned per-workload (and, inside each policy,
+// per-function) table — the wsc-search output wsc-propeller consumes
+// via -layout-table.
+type PolicyTable struct {
+	Version   string                       `json:"version"`
+	Seed      int64                        `json:"seed"`
+	Workloads map[string]eval.LayoutPolicy `json:"workloads"`
+}
+
+// TableVersion guards the -layout-table file format.
+const TableVersion = "wsc-search-table-v1"
+
+// Table extracts the learned policy table from the journal.
+func (r *Result) Table() PolicyTable {
+	t := PolicyTable{Version: TableVersion, Seed: r.Seed, Workloads: map[string]eval.LayoutPolicy{}}
+	for _, w := range r.Workloads {
+		t.Workloads[w.Workload] = w.Learned.Policy
+	}
+	return t
+}
+
+// For resolves a workload's learned policy.
+func (t *PolicyTable) For(workload string) (eval.LayoutPolicy, bool) {
+	p, ok := t.Workloads[workload]
+	return p, ok
+}
+
+// WriteTable serializes the table as indented JSON.
+func (t PolicyTable) WriteTable(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTable parses and validates a -layout-table file.
+func ReadTable(r io.Reader) (*PolicyTable, error) {
+	var t PolicyTable
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("policysearch: layout table: %w", err)
+	}
+	if t.Version != TableVersion {
+		return nil, fmt.Errorf("policysearch: layout table: version %q, want %q", t.Version, TableVersion)
+	}
+	if len(t.Workloads) == 0 {
+		return nil, fmt.Errorf("policysearch: layout table: no workloads")
+	}
+	return &t, nil
+}
+
+// WriteBenchJSON writes the BENCH_search.json artifact (one shape shared
+// by BenchmarkPolicySearch and `wsc-search`/`wsc-bench -search`, so the
+// committed baseline applies to any producer). Fully deterministic, so
+// the bench-regression gate compares every leaf exactly.
+func (r *Result) WriteBenchJSON(w io.Writer, minStrictWins int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"benchmark":  "PolicySearch",
+		"seed":       r.Seed,
+		"strategies": r.Strategies,
+		"workloads":  r.Workloads,
+		"table":      r.Table(),
+		"smoke":      r.SmokeCheck(minStrictWins),
+	})
+}
+
+// Fingerprint hashes the journal's deterministic serialized form; equal
+// fingerprints across worker counts is the bit-reproducibility contract.
+func (r *Result) Fingerprint() string {
+	h := sha256.New()
+	// The JSON encoder sorts map keys, so this serialization is already
+	// canonical; minStrictWins only affects the embedded smoke verdict,
+	// not the search outcome, and 0 keeps the fingerprint contract-free.
+	if err := r.WriteBenchJSON(h, 0); err != nil {
+		// Result contains only encodable types; an error here is a bug.
+		panic(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sortedWorkloadNames lists the journal's workloads in stable order
+// (rendering helper for the CLIs).
+func (r *Result) sortedWorkloadNames() []string {
+	names := make([]string, 0, len(r.Workloads))
+	for _, w := range r.Workloads {
+		names = append(names, w.Workload)
+	}
+	sort.Strings(names)
+	return names
+}

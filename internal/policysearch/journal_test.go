@@ -1,0 +1,106 @@
+package policysearch
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"propeller/internal/eval"
+	"propeller/internal/exttsp"
+	"propeller/internal/wpa"
+)
+
+func randomCandidate(r *rand.Rand) Candidate {
+	c := Candidate{
+		Policy: eval.LayoutPolicy{
+			Name:           "cand",
+			InterProc:      r.Intn(2) == 0,
+			KeepBlockOrder: r.Intn(2) == 0,
+			PathClone:      r.Intn(2) == 0,
+			Params:         exttsp.SampleParams(r),
+		},
+		Origin: []string{"fixed", "mutate", "sample", "mix"}[r.Intn(4)],
+	}
+	if n := r.Intn(3); n > 0 {
+		c.Policy.FuncPolicies = map[string]wpa.FuncPolicy{}
+		for i := 0; i < n; i++ {
+			c.Policy.FuncPolicies[string(rune('a'+i))] = randomFuncPolicy(r)
+		}
+	}
+	return c
+}
+
+// TestCandidateCodecRoundTrip: encode → decode is the identity on
+// generated candidates, and the encoding is a canonical fixed point.
+func TestCandidateCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		c := randomCandidate(r)
+		enc := EncodeCandidate(c)
+		got, err := DecodeCandidate(enc)
+		if err != nil {
+			t.Fatalf("candidate %d: decode: %v (cand %+v)", i, err, c)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Fatalf("candidate %d round-trip diverged:\n got %+v\nwant %+v", i, got, c)
+		}
+		if !bytes.Equal(EncodeCandidate(got), enc) {
+			t.Fatalf("candidate %d: re-encode is not a fixed point", i)
+		}
+	}
+}
+
+// TestCandidateCodecRejects: malformed inputs must error, not
+// mis-decode.
+func TestCandidateCodecRejects(t *testing.T) {
+	valid := EncodeCandidate(Candidate{Policy: eval.LayoutPolicy{Name: "x"}, Origin: "fixed"})
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE"),
+		"truncated": valid[:len(valid)-3],
+		"trailing":  append(append([]byte(nil), valid...), 0xff),
+	}
+	for name, data := range cases {
+		if _, err := DecodeCandidate(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+	// Unsorted overrides are non-canonical.
+	c := Candidate{Policy: eval.LayoutPolicy{Name: "x", FuncPolicies: map[string]wpa.FuncPolicy{
+		"a": {}, "b": {KeepBlockOrder: true},
+	}}}
+	enc := EncodeCandidate(c)
+	swapped := bytes.Replace(enc, []byte("a"), []byte("z"), 1)
+	if _, err := DecodeCandidate(swapped); err == nil {
+		t.Error("decode accepted unsorted overrides")
+	}
+}
+
+// FuzzCandidateCodec: any input that decodes must re-encode to a
+// canonical fixed point that decodes to the same candidate.
+func FuzzCandidateCodec(f *testing.F) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 8; i++ {
+		f.Add(EncodeCandidate(randomCandidate(r)))
+	}
+	f.Add([]byte("WPC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCandidate(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeCandidate(c)
+		c2, err := DecodeCandidate(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(c2, c) {
+			t.Fatalf("round-trip diverged:\n got %+v\nwant %+v", c2, c)
+		}
+		if !bytes.Equal(EncodeCandidate(c2), enc) {
+			t.Fatal("encoding is not a fixed point")
+		}
+	})
+}

@@ -59,6 +59,39 @@ func (a *Aggregate) Samples() int { return a.samples }
 // Funcs reports how many functions have at least one sampled block.
 func (a *Aggregate) Funcs() int { return len(a.funcs) }
 
+// HotFuncs returns the n hottest sampled functions by total block count,
+// ties broken by name, hottest first. The policy search uses it to pick
+// which functions are worth a per-function policy override; n <= 0 or
+// n > len returns every sampled function.
+func (a *Aggregate) HotFuncs(n int) []string {
+	type hot struct {
+		name  string
+		count uint64
+	}
+	hots := make([]hot, 0, len(a.funcs))
+	for fn, fp := range a.funcs {
+		var total uint64
+		for _, v := range fp.counts {
+			total += v
+		}
+		hots = append(hots, hot{fn, total})
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].count != hots[j].count {
+			return hots[i].count > hots[j].count
+		}
+		return hots[i].name < hots[j].name
+	})
+	if n <= 0 || n > len(hots) {
+		n = len(hots)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = hots[i].name
+	}
+	return names
+}
+
 // toAggregate extracts the analyzer's aggregation state. The maps move
 // (not copy): the analyzer is done once this is called.
 func (a *analyzer) toAggregate(profileBytes int64) *Aggregate {

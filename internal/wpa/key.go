@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sort"
 
 	"propeller/internal/buildsys"
 	"propeller/internal/layoutfile"
@@ -58,10 +59,48 @@ func (c Config) layoutPolicyKey() string {
 	key := fmt.Sprintf("hot=%d naive=%t interproc=%t maxcluster=%d keeporder=%t ftw=%g fww=%g bww=%g fwin=%d bwin=%d",
 		c.hotThreshold(), c.NaiveExtTSP, c.InterProc, c.MaxClusterSize, c.KeepBlockOrder,
 		p.FallthroughWeight, p.ForwardWeight, p.BackwardWeight, p.ForwardWindow, p.BackwardWindow)
-	if c.PathClone {
+	if c.needsPaths() {
 		key += " paths=" + c.HotPaths.fingerprint()
 	}
+	for _, fn := range sortedKeys(c.FuncPolicies) {
+		key += fmt.Sprintf(" fn[%s]={%s}", fn, c.FuncPolicies[fn].policyKey())
+	}
 	return key
+}
+
+// policyKey renders the per-function policy knobs that influence one
+// function's layout. Every FuncPolicy field must feed into this string —
+// TestLayoutPolicyKeyCoversFuncPolicies enforces that by reflection.
+func (fp FuncPolicy) policyKey() string {
+	p := fp.ExtTSP.Resolve()
+	return fmt.Sprintf("keeporder=%t pathclone=%t ftw=%g fww=%g bww=%g fwin=%d bwin=%d",
+		fp.KeepBlockOrder, fp.PathClone,
+		p.FallthroughWeight, p.ForwardWeight, p.BackwardWeight, p.ForwardWindow, p.BackwardWindow)
+}
+
+// funcPolicyKey is the per-function layout-cache policy component: the
+// effective policy for fn plus the Config knobs that layoutOneIntra reads
+// regardless of any override (hot threshold, naive fallback). Two configs
+// that resolve to the same effective per-function policy share cache
+// entries for fn even when they differ on other functions' overrides —
+// that is what lets a warm re-search reuse per-func layouts across
+// candidate tables that only move other functions.
+func (c Config) funcPolicyKey(fn string) string {
+	fp := c.funcPolicy(fn)
+	key := fmt.Sprintf("hot=%d naive=%t %s", c.hotThreshold(), c.NaiveExtTSP, fp.policyKey())
+	if fp.PathClone {
+		key += " paths=" + PathSet{fn: c.HotPaths[fn]}.fingerprint()
+	}
+	return key
+}
+
+func sortedKeys(m map[string]FuncPolicy) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func aggCacheKey(epoch string) string {

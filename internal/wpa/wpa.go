@@ -54,6 +54,17 @@ type Config struct {
 	// only.
 	PathClone bool
 
+	// FuncPolicies assigns individual functions their own layout policy
+	// (per-function policy mixing, the axis the automated policy search
+	// exploits): a named function's intra-function layout runs under its
+	// override — KeepBlockOrder, PathClone, and Ext-TSP params — while
+	// every other function keeps the Config-level knobs. The map is part
+	// of the layout-policy cache key (per overridden function, its
+	// effective policy keys that function's cached layout, so a re-search
+	// reuses every layout whose policy did not change). Intra-function
+	// mode only; the inter-procedural layout ignores it.
+	FuncPolicies map[string]FuncPolicy
+
 	// HotPaths are the reconstructed hot paths PathClone consumes.
 	// Analyze/AnalyzeStream reconstruct them from the profile when nil
 	// (AnalyzeStream only when the samples are re-readable, i.e. never —
@@ -108,6 +119,49 @@ type Config struct {
 	// counts and layouts for any unchanged function under the same
 	// epoch.
 	ProfileEpoch string
+}
+
+// FuncPolicy is one function's layout-policy override: the subset of
+// Config knobs that act on a single function's intra-function layout.
+// The zero value is the paper-default Ext-TSP policy.
+type FuncPolicy struct {
+	// KeepBlockOrder keeps the function's blocks in original map order
+	// (the call-chain-first arm, per function).
+	KeepBlockOrder bool `json:"keepBlockOrder,omitempty"`
+	// PathClone clones the function's reconstructed hot paths before
+	// Ext-TSP (requires Config.HotPaths).
+	PathClone bool `json:"pathClone,omitempty"`
+	// ExtTSP sets the proximity-scoring parameters; the zero value is
+	// the paper defaults.
+	ExtTSP exttsp.Params `json:"params,omitempty"`
+}
+
+// basePolicy is the Config-level policy every function without an
+// override runs under.
+func (c Config) basePolicy() FuncPolicy {
+	return FuncPolicy{KeepBlockOrder: c.KeepBlockOrder, PathClone: c.PathClone, ExtTSP: c.ExtTSP}
+}
+
+// funcPolicy resolves the effective layout policy for one function.
+func (c Config) funcPolicy(fn string) FuncPolicy {
+	if fp, ok := c.FuncPolicies[fn]; ok {
+		return fp
+	}
+	return c.basePolicy()
+}
+
+// needsPaths reports whether any layer of the configuration enables path
+// cloning, and therefore needs Config.HotPaths populated.
+func (c Config) needsPaths() bool {
+	if c.PathClone {
+		return true
+	}
+	for _, fp := range c.FuncPolicies {
+		if fp.PathClone {
+			return true
+		}
+	}
+	return false
 }
 
 // cacheEnabled reports whether the incremental-cache path is active.
@@ -505,7 +559,7 @@ func Analyze(m *bbaddrmap.Map, prof *profile.Profile, cfg Config) (*Result, erro
 	if err := cfg.checkBuildID(prof.BuildID); err != nil {
 		return nil, err
 	}
-	if cfg.PathClone && cfg.HotPaths == nil {
+	if cfg.needsPaths() && cfg.HotPaths == nil {
 		// The path strings are not recoverable from the (cached) edge
 		// aggregate, so reconstruct them from the raw samples up front —
 		// this also folds their fingerprint into layoutPolicyKey before
@@ -623,12 +677,15 @@ type intraOut struct {
 	err     error
 }
 
-// layoutOneIntra lays out a single function's hot blocks. It only reads
-// the shared DCFG maps, so any number of calls may run concurrently.
+// layoutOneIntra lays out a single function's hot blocks under its
+// effective policy (the Config knobs, or the function's FuncPolicies
+// override). It only reads the shared DCFG maps, so any number of calls
+// may run concurrently.
 func layoutOneIntra(g *dcfg, cfg Config) intraOut {
 	if g.info == nil || g.info.entryID < 0 {
 		return intraOut{skip: true}
 	}
+	fp := cfg.funcPolicy(g.info.name)
 	ids := g.hotBlocks(cfg.hotThreshold())
 	if len(ids) == 0 {
 		return intraOut{skip: true}
@@ -637,7 +694,7 @@ func layoutOneIntra(g *dcfg, cfg Config) intraOut {
 	for _, c := range g.counts {
 		samples += c
 	}
-	if cfg.KeepBlockOrder {
+	if fp.KeepBlockOrder {
 		return intraOut{cluster: g.keepOrderCluster(ids), samples: samples}
 	}
 	eg, index := g.buildGraph(ids)
@@ -648,10 +705,10 @@ func layoutOneIntra(g *dcfg, cfg Config) intraOut {
 		}
 	}
 	var cloneOf []int
-	if cfg.PathClone {
+	if fp.PathClone {
 		cloneOf = clonePaths(eg, index, cfg.HotPaths[g.info.name])
 	}
-	order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: entryIdx, UseHeap: !cfg.NaiveExtTSP, Params: cfg.ExtTSP})
+	order, err := exttsp.Layout(eg, exttsp.Options{ForcedFirst: entryIdx, UseHeap: !cfg.NaiveExtTSP, Params: fp.ExtTSP})
 	if err != nil {
 		return intraOut{err: err}
 	}
@@ -748,16 +805,14 @@ func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInf
 	// changed — join the todo list that actually runs Ext-TSP.
 	todo := make([]int, 0, len(names))
 	cached := cfg.cacheEnabled()
-	var policy string
 	if cached {
-		policy = cfg.layoutPolicyKey()
 		for i, fn := range names {
 			g := graphs[fn]
 			if g.info == nil {
 				todo = append(todo, i)
 				continue
 			}
-			if data, ok := cfg.Cache.Get(funcLayoutCacheKey(cfg.ProfileEpoch, policy, g.info.contentHash())); ok {
+			if data, ok := cfg.Cache.Get(funcLayoutCacheKey(cfg.ProfileEpoch, cfg.funcPolicyKey(fn), g.info.contentHash())); ok {
 				if o, err := decodeLayoutEntry(data); err == nil {
 					outs[i] = o
 					res.Stats.FuncLayoutHits++
@@ -814,7 +869,7 @@ func layoutIntra(res *Result, graphs map[string]*dcfg, infos map[string]*funcInf
 			res.Stats.RelaidFuncs++
 		}
 		if g := graphs[names[i]]; cached && g.info != nil {
-			cfg.Cache.Put(funcLayoutCacheKey(cfg.ProfileEpoch, policy, g.info.contentHash()), encodeLayoutEntry(o))
+			cfg.Cache.Put(funcLayoutCacheKey(cfg.ProfileEpoch, cfg.funcPolicyKey(names[i]), g.info.contentHash()), encodeLayoutEntry(o))
 		}
 	}
 
